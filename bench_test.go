@@ -1,0 +1,206 @@
+package repro
+
+// One benchmark per figure/table of the paper's evaluation, plus the
+// ablations called out in DESIGN.md. Each benchmark runs the corresponding
+// harness experiment and prints its table once, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates every reported result. Benchmarks use the Quick
+// configuration (scaled-down payloads, identical phase structure) so the
+// whole suite completes in minutes; cmd/paperfigs runs the full scale.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+var printOnce sync.Map
+
+func printTable(key, table string) {
+	if _, loaded := printOnce.LoadOrStore(key, true); !loaded {
+		fmt.Println(table)
+	}
+}
+
+func cfg() harness.Config { return harness.Quick() }
+
+// BenchmarkFigure1Walkthrough reproduces the Section 3.4 design example:
+// the Figure 1 contention periods, the Figure 2 cut colorings (4 and 3
+// links), and the Figure 5 final network.
+func BenchmarkFigure1Walkthrough(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w, err := cfg().Walkthrough()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if w.Cut1Links != 4 || w.Cut2Links != 3 {
+			b.Fatalf("cut colorings %d/%d diverge from paper 4/3", w.Cut1Links, w.Cut2Links)
+		}
+		printTable("walkthrough", w.Render())
+		b.ReportMetric(float64(w.Links), "links")
+		b.ReportMetric(float64(w.Switches), "switches")
+	}
+}
+
+// BenchmarkFig7aResources8 reproduces Figure 7(a): generated-network
+// resources normalized to the mesh on the 8/9-node configurations.
+func BenchmarkFig7aResources8(b *testing.B) {
+	benchFig7(b, "small", "Figure 7(a): resources, 8/9-node configurations")
+}
+
+// BenchmarkFig7bResources16 reproduces Figure 7(b) (16-node
+// configurations).
+func BenchmarkFig7bResources16(b *testing.B) {
+	benchFig7(b, "large", "Figure 7(b): resources, 16-node configurations")
+}
+
+func benchFig7(b *testing.B, size, title string) {
+	for i := 0; i < b.N; i++ {
+		rows, err := cfg().Figure7(size)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable(title, harness.RenderResourceTable(title+" (normalized to mesh)", rows))
+		var swSum, lnSum float64
+		for _, r := range rows {
+			swSum += r.SwitchRatio
+			lnSum += r.LinkRatioMesh
+		}
+		b.ReportMetric(swSum/float64(len(rows)), "switch-ratio")
+		b.ReportMetric(lnSum/float64(len(rows)), "link-ratio")
+	}
+}
+
+// BenchmarkFig8aPerformance8 reproduces Figure 8(a): execution and
+// communication time of mesh, torus, and generated networks normalized to
+// the crossbar at 8/9 nodes.
+func BenchmarkFig8aPerformance8(b *testing.B) {
+	benchFig8(b, "small", "Figure 8(a): performance, 8/9-node configurations")
+}
+
+// BenchmarkFig8bPerformance16 reproduces Figure 8(b) (16 nodes), where the
+// paper reports the generated network within 4% of the crossbar and up to
+// 18% faster than the mesh on CG.
+func BenchmarkFig8bPerformance16(b *testing.B) {
+	benchFig8(b, "large", "Figure 8(b): performance, 16-node configurations")
+}
+
+func benchFig8(b *testing.B, size, title string) {
+	for i := 0; i < b.N; i++ {
+		rows, err := cfg().Figure8(size)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable(title, harness.RenderPerfTable(title+" (normalized to crossbar)", rows))
+		var genSum float64
+		var genN int
+		for _, r := range rows {
+			if r.Topology == "generated" {
+				genSum += r.ExecNorm
+				genN++
+			}
+		}
+		if genN > 0 {
+			b.ReportMetric(genSum/float64(genN), "gen-exec-vs-xbar")
+		}
+	}
+}
+
+// BenchmarkSensitivityCrossPattern reproduces the Section 4.2 study: BT and
+// FFT traces on the CG-generated network.
+func BenchmarkSensitivityCrossPattern(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := cfg().Sensitivity([]string{"BT", "FFT"}, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("sensitivity", harness.RenderSensitivityTable(rows))
+		for _, r := range rows {
+			b.ReportMetric(r.Degradation, r.Benchmark+"-degradation")
+		}
+	}
+}
+
+// BenchmarkFastVsExactColoring quantifies Section 3.3's claim that
+// Fast_Color is a close lower bound on the formal chromatic number, over
+// every pipe of every generated network.
+func BenchmarkFastVsExactColoring(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := cfg().ColoringQuality(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("coloring", harness.RenderColoringQuality(rows))
+		tight, pipes := 0, 0
+		for _, r := range rows {
+			tight += r.Tight
+			pipes += r.Pipes
+		}
+		if pipes > 0 {
+			b.ReportMetric(float64(tight)/float64(pipes), "tightness")
+		}
+	}
+}
+
+// BenchmarkAblationSynthesis compares the methodology's design choices
+// (Best_Route, global refinement, exact final coloring, annealed moves) on
+// CG-16.
+func BenchmarkAblationSynthesis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := cfg().Ablations("CG", 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("ablation", harness.RenderAblations(rows))
+		for _, r := range rows {
+			b.ReportMetric(float64(r.Links), r.Variant+"-links")
+		}
+	}
+}
+
+// BenchmarkSkewRobustness quantifies the Section 4 tradeoff: residual
+// model-level contention (C ∩ R witnesses) when the trace is skewed but the
+// network was designed skew-free.
+func BenchmarkSkewRobustness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := cfg().SkewRobustness("CG", 16, []float64{0, 0.5, 2, 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("skew", harness.RenderSkewTable("CG", rows))
+		b.ReportMetric(float64(rows[len(rows)-1].Witnesses), "witnesses-at-max-skew")
+	}
+}
+
+// BenchmarkMultiAppSynthesis evaluates the reconfigurable-workload
+// extension: one network synthesized for CG and FFT together, verified
+// contention-free for each, compared against two dedicated networks.
+func BenchmarkMultiAppSynthesis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := cfg().MultiApp([]string{"CG", "FFT"}, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("multiapp", res.Render())
+		b.ReportMetric(float64(res.MergedLinks), "shared-links")
+		b.ReportMetric(float64(res.OwnLinks["CG"]+res.OwnLinks["FFT"]), "separate-links")
+	}
+}
+
+// BenchmarkScalingSweep tracks resource savings as the system grows toward
+// the "high tens of cores" the paper's introduction projects.
+func BenchmarkScalingSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := cfg().Scaling("CG", []int{8, 16, 32})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("scaling", harness.RenderScaling("CG", rows))
+		last := rows[len(rows)-1]
+		b.ReportMetric(last.SwitchRatio, "switch-ratio-32")
+	}
+}

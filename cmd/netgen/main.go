@@ -1,0 +1,93 @@
+// Command netgen applies the paper's design methodology to a communication
+// trace, printing (and optionally saving) the generated minimal
+// low-contention network.
+//
+// Usage:
+//
+//	netgen -trace trace.txt [-maxdegree 5] [-maxprocs 4] [-seed 1] [-restarts 4] [-o net.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/floorplan"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "input noctrace file (required)")
+		maxDeg    = flag.Int("maxdegree", 5, "maximum switch degree (ports)")
+		maxProcs  = flag.Int("maxprocs", 4, "maximum processors per switch")
+		seed      = flag.Int64("seed", 1, "synthesis seed")
+		restarts  = flag.Int("restarts", 4, "synthesis restarts")
+		out       = flag.String("o", "", "write topology JSON to this file")
+	)
+	flag.Parse()
+	if *tracePath == "" {
+		fatal(fmt.Errorf("-trace is required"))
+	}
+	f, err := os.Open(*tracePath)
+	if err != nil {
+		fatal(err)
+	}
+	pat, err := trace.Decode(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	res, err := synth.Synthesize(pat, synth.Options{
+		Constraints: synth.Constraints{MaxDegree: *maxDeg, MaxProcsPerSwitch: *maxProcs},
+		Seed:        *seed,
+		Restarts:    *restarts,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("pattern %s: %d processors, %d flows, %d maximal contention periods\n",
+		pat.Name, pat.Procs, len(pat.Flows()), len(res.Cliques))
+	fmt.Printf("generated network: %d switches, %d links, max degree %d\n",
+		res.Net.NumSwitches(), res.Net.TotalLinks(), res.Net.MaxDegree())
+	fmt.Printf("design constraints met: %v\n", res.ConstraintsMet)
+	fmt.Printf("contention-free (Theorem 1, C ∩ R = ∅): %v", res.ContentionFree)
+	if !res.ContentionFree {
+		fmt.Printf(" (%d witnesses)", len(res.Witnesses))
+	}
+	fmt.Println()
+	for _, sw := range res.Net.Switches {
+		fmt.Printf("  switch %d: procs %v, degree %d\n", sw.ID, sw.Procs, res.Net.Degree(sw.ID))
+	}
+	for _, p := range res.Net.Pipes {
+		fmt.Printf("  pipe %d-%d: %d link(s)\n", p.A, p.B, p.Width)
+	}
+
+	plan, err := floorplan.Place(res.Net, floorplan.Options{Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	meshSw, meshLink := floorplan.MeshBaseline(pat.Procs)
+	fmt.Printf("floorplan: switch area %d (mesh %d), link area %d (mesh %d)\n",
+		plan.SwitchArea, meshSw, plan.TotalArea(), meshLink)
+	fmt.Println(plan.Render(res.Net))
+
+	if *out != "" {
+		of, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer of.Close()
+		if err := synth.SaveDesign(of, res.Net, res.Table); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("design (topology + routes) written to %s\n", *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "netgen:", err)
+	os.Exit(1)
+}

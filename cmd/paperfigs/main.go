@@ -1,0 +1,131 @@
+// Command paperfigs regenerates every figure of the paper's evaluation
+// (Section 4) plus the Section 3 walkthrough and the DESIGN.md ablations.
+//
+// Usage:
+//
+//	paperfigs [-fig all|1|7a|7b|8a|8b|sens|color|ablation|skew] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "all", "figure: all, 1, 7a, 7b, 8a, 8b, sens, color, ablation, multi, scale, skew")
+		quick = flag.Bool("quick", false, "scaled-down workloads (faster)")
+	)
+	flag.Parse()
+	cfg := harness.Paper()
+	if *quick {
+		cfg = harness.Quick()
+	}
+	run := func(name string, f func() error) {
+		if *fig != "all" && *fig != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "paperfigs %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("1", func() error {
+		w, err := cfg.Walkthrough()
+		if err != nil {
+			return err
+		}
+		fmt.Println(w.Render())
+		return nil
+	})
+	run("7a", func() error {
+		rows, err := cfg.Figure7("small")
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.RenderResourceTable("Figure 7(a): resources, 8/9-node configurations (normalized to mesh)", rows))
+		return nil
+	})
+	run("7b", func() error {
+		rows, err := cfg.Figure7("large")
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.RenderResourceTable("Figure 7(b): resources, 16-node configurations (normalized to mesh)", rows))
+		return nil
+	})
+	run("8a", func() error {
+		rows, err := cfg.Figure8("small")
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.RenderPerfTable("Figure 8(a): performance, 8/9-node configurations (normalized to crossbar)", rows))
+		return nil
+	})
+	run("8b", func() error {
+		rows, err := cfg.Figure8("large")
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.RenderPerfTable("Figure 8(b): performance, 16-node configurations (normalized to crossbar)", rows))
+		return nil
+	})
+	run("sens", func() error {
+		rows, err := cfg.Sensitivity([]string{"BT", "FFT"}, 16)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.RenderSensitivityTable(rows))
+		return nil
+	})
+	run("color", func() error {
+		rows, err := cfg.ColoringQuality(nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.RenderColoringQuality(rows))
+		return nil
+	})
+	run("ablation", func() error {
+		for _, bench := range []string{"CG", "BT"} {
+			rows, err := cfg.Ablations(bench, 16)
+			if err != nil {
+				return err
+			}
+			fmt.Println(harness.RenderAblations(rows))
+		}
+		return nil
+	})
+	run("multi", func() error {
+		res, err := cfg.MultiApp([]string{"CG", "FFT"}, 16)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		return nil
+	})
+	run("scale", func() error {
+		sizes := []int{8, 16, 32}
+		if *quick {
+			sizes = []int{8, 16}
+		}
+		rows, err := cfg.Scaling("CG", sizes)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.RenderScaling("CG", rows))
+		return nil
+	})
+	run("skew", func() error {
+		rows, err := cfg.SkewRobustness("CG", 16, []float64{0, 0.25, 0.5, 1, 2, 4, 8, 16})
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.RenderSkewTable("CG", rows))
+		return nil
+	})
+}

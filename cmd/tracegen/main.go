@@ -1,0 +1,57 @@
+// Command tracegen emits a synthetic NAS-style communication trace in
+// noctrace v1 format.
+//
+// Usage:
+//
+//	tracegen -bench CG -procs 16 [-iters 4] [-bytescale 1.0] [-skew 0] [-seed 1] [-o trace.txt]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/nas"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		bench     = flag.String("bench", "CG", "benchmark: BT, CG, FFT, MG, SP")
+		procs     = flag.Int("procs", 16, "processor count")
+		iters     = flag.Int("iters", 0, "main-loop iterations (0 = benchmark default)")
+		byteScale = flag.Float64("bytescale", 0, "message size multiplier (0 = 1.0)")
+		skew      = flag.Float64("skew", 0, "max per-processor start-time skew, trace units")
+		seed      = flag.Int64("seed", 1, "seed for the skew model")
+		out       = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	pat, err := nas.Generate(*bench, *procs, nas.Config{Iterations: *iters, ByteScale: *byteScale})
+	if err != nil {
+		fatal(err)
+	}
+	if *skew > 0 {
+		pat = trace.ApplySkew(pat, *skew, *seed)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trace.Encode(w, pat); err != nil {
+		fatal(err)
+	}
+	st := trace.Summarize(pat)
+	fmt.Fprintf(os.Stderr, "%s: %d procs, %d messages, %d phases, %d contention periods (%d maximal), |C|=%d\n",
+		pat.Name, st.Procs, st.Messages, st.Phases, st.Periods, st.MaxPeriods, st.ContentionSz)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,62 @@
+package coloring
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func benchCliques(rng *rand.Rand, universe []model.Flow, n int) []model.Clique {
+	var cliques []model.Clique
+	for i := 0; i < n; i++ {
+		var members []model.Flow
+		for _, f := range universe {
+			if rng.Intn(3) == 0 {
+				members = append(members, f)
+			}
+		}
+		cliques = append(cliques, model.NewClique(members...))
+	}
+	return model.MaxCliques(cliques)
+}
+
+func BenchmarkFastColor(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	universe := flowsN(40)
+	cliques := benchCliques(rng, universe, 12)
+	pipe := map[model.Flow]bool{}
+	for i, f := range universe {
+		if i%2 == 0 {
+			pipe[f] = true
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FastColor(cliques, pipe)
+	}
+}
+
+func BenchmarkGreedyColoring(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	universe := flowsN(40)
+	cliques := benchCliques(rng, universe, 12)
+	g := BuildFromCliques(universe, cliques)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Greedy()
+	}
+}
+
+func BenchmarkExactColoring(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	universe := flowsN(24)
+	cliques := benchCliques(rng, universe, 8)
+	g := BuildFromCliques(universe, cliques)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := g.Exact(); !ok {
+			b.Fatal("budget exhausted")
+		}
+	}
+}

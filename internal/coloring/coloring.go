@@ -1,0 +1,298 @@
+// Package coloring solves the link-count problem of Section 3.1: the minimum
+// number of links a pipe needs so that temporally conflicting communications
+// ride separate links equals the chromatic number of the pipe's conflict
+// graph (vertices: flows through the pipe in one direction; edges: pairs in
+// the potential communication contention set C).
+//
+// Three solvers are provided, mirroring the paper:
+//
+//   - FastColor: the Appendix's Fast_Color — the maximum cardinality of the
+//     intersection between any maximum clique and the pipe's flow set. A
+//     cheap, close lower bound used throughout partitioning (O(K·L)).
+//   - Greedy: DSATUR, a fast upper bound.
+//   - Exact: branch-and-bound chromatic coloring used at finalization
+//     ("formal coloring"), with a node budget that falls back to DSATUR on
+//     pathological instances.
+package coloring
+
+import (
+	"sort"
+
+	"repro/internal/model"
+)
+
+// ConflictGraph is the conflict graph of one pipe direction.
+type ConflictGraph struct {
+	// Flows are the vertices, in sorted order.
+	Flows []model.Flow
+	// adj[i][j] reports an edge between vertices i and j.
+	adj [][]bool
+	// degree caches vertex degrees.
+	degree []int
+}
+
+// BuildConflictGraph constructs the conflict graph over the given flows with
+// an edge wherever the contention set C marks the pair as potentially
+// colliding.
+func BuildConflictGraph(flows []model.Flow, c model.PairSet) *ConflictGraph {
+	fs := append([]model.Flow(nil), flows...)
+	sort.Slice(fs, func(i, j int) bool { return fs[i].Less(fs[j]) })
+	g := &ConflictGraph{
+		Flows:  fs,
+		adj:    make([][]bool, len(fs)),
+		degree: make([]int, len(fs)),
+	}
+	for i := range g.adj {
+		g.adj[i] = make([]bool, len(fs))
+	}
+	for i := 0; i < len(fs); i++ {
+		for j := i + 1; j < len(fs); j++ {
+			if c.Has(fs[i], fs[j]) {
+				g.adj[i][j] = true
+				g.adj[j][i] = true
+				g.degree[i]++
+				g.degree[j]++
+			}
+		}
+	}
+	return g
+}
+
+// BuildFromCliques constructs the conflict graph over the given flows with
+// an edge between two flows whenever they appear together in some clique —
+// the usual construction during partitioning, where C is represented by the
+// maximum clique set.
+func BuildFromCliques(flows []model.Flow, cliques []model.Clique) *ConflictGraph {
+	return BuildConflictGraph(flows, model.ContentionSetFromCliques(cliques))
+}
+
+// N returns the vertex count.
+func (g *ConflictGraph) N() int { return len(g.Flows) }
+
+// Edge reports whether vertices i and j conflict.
+func (g *ConflictGraph) Edge(i, j int) bool { return g.adj[i][j] }
+
+// Edges counts the graph's edges.
+func (g *ConflictGraph) Edges() int {
+	e := 0
+	for _, d := range g.degree {
+		e += d
+	}
+	return e / 2
+}
+
+// FastColor implements the Appendix's Fast_Color bound for a single
+// direction: the maximum number of flows the set shares with any one clique.
+// Every such shared subset is mutually conflicting, hence a clique of the
+// conflict graph, hence a lower bound on its chromatic number.
+func FastColor(cliques []model.Clique, flows map[model.Flow]bool) int {
+	best := 0
+	for _, c := range cliques {
+		n := 0
+		for _, f := range c {
+			if flows[f] {
+				n++
+			}
+		}
+		if n > best {
+			best = n
+		}
+	}
+	return best
+}
+
+// FastColorPipe applies Fast_Color to both directions of a pipe and returns
+// the maximum — the estimated number of full-duplex links required
+// (Section 3.1: "the overall number of links required is equal to the
+// maximum cardinality of the two sets of colors").
+func FastColorPipe(cliques []model.Clique, fwd, bwd map[model.Flow]bool) int {
+	f := FastColor(cliques, fwd)
+	if b := FastColor(cliques, bwd); b > f {
+		return b
+	}
+	return f
+}
+
+// Greedy colors the graph with the DSATUR heuristic and returns the color
+// count and a per-vertex assignment (parallel to g.Flows).
+func (g *ConflictGraph) Greedy() (int, []int) {
+	n := g.N()
+	if n == 0 {
+		return 0, nil
+	}
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	sat := make([]map[int]bool, n)
+	for i := range sat {
+		sat[i] = make(map[int]bool)
+	}
+	colors := 0
+	for done := 0; done < n; done++ {
+		// Pick the uncolored vertex with max saturation, tie-break on
+		// degree then index.
+		best := -1
+		for v := 0; v < n; v++ {
+			if assign[v] != -1 {
+				continue
+			}
+			if best == -1 ||
+				len(sat[v]) > len(sat[best]) ||
+				(len(sat[v]) == len(sat[best]) && g.degree[v] > g.degree[best]) {
+				best = v
+			}
+		}
+		c := 0
+		for sat[best][c] {
+			c++
+		}
+		assign[best] = c
+		if c+1 > colors {
+			colors = c + 1
+		}
+		for u := 0; u < n; u++ {
+			if g.adj[best][u] {
+				sat[u][c] = true
+			}
+		}
+	}
+	return colors, assign
+}
+
+// maxCliqueLowerBound finds a large clique greedily (by degree order) as a
+// lower bound for exact coloring.
+func (g *ConflictGraph) maxCliqueLowerBound() int {
+	n := g.N()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return g.degree[order[a]] > g.degree[order[b]] })
+	best := 0
+	for _, start := range order {
+		clique := []int{start}
+		for _, v := range order {
+			if v == start {
+				continue
+			}
+			ok := true
+			for _, u := range clique {
+				if !g.adj[u][v] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				clique = append(clique, v)
+			}
+		}
+		if len(clique) > best {
+			best = len(clique)
+		}
+		if best >= g.degree[start]+1 {
+			break // no clique through later vertices can beat this
+		}
+	}
+	return best
+}
+
+// ExactBudget bounds the branch-and-bound search; beyond it Exact falls back
+// to the greedy result. Pipe conflict graphs in this domain have at most a
+// few dozen vertices, far below the budget in practice.
+const ExactBudget = 2_000_000
+
+// Exact computes the chromatic number and an optimal assignment by
+// branch-and-bound (iterative deepening between the clique lower bound and
+// the DSATUR upper bound). The boolean result reports whether the answer is
+// provably optimal; on budget exhaustion the greedy coloring is returned
+// with false.
+func (g *ConflictGraph) Exact() (int, []int, bool) {
+	n := g.N()
+	if n == 0 {
+		return 0, nil, true
+	}
+	ub, greedyAssign := g.Greedy()
+	lb := g.maxCliqueLowerBound()
+	if lb >= ub {
+		return ub, greedyAssign, true
+	}
+	// Order vertices by descending degree for effective pruning.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return g.degree[order[a]] > g.degree[order[b]] })
+
+	budget := ExactBudget
+	for k := lb; k < ub; k++ {
+		assign := make([]int, n)
+		for i := range assign {
+			assign[i] = -1
+		}
+		if ok, exhausted := g.tryColor(order, assign, 0, k, 0, &budget); ok {
+			return k, assign, true
+		} else if exhausted {
+			return ub, greedyAssign, false
+		}
+	}
+	return ub, greedyAssign, true
+}
+
+// tryColor attempts to color vertices order[pos:] with at most k colors,
+// where maxUsed colors are already in use. Symmetry is broken by allowing a
+// new color only as color maxUsed.
+func (g *ConflictGraph) tryColor(order, assign []int, pos, k, maxUsed int, budget *int) (ok, exhausted bool) {
+	if pos == len(order) {
+		return true, false
+	}
+	if *budget <= 0 {
+		return false, true
+	}
+	*budget--
+	v := order[pos]
+	limit := maxUsed + 1
+	if limit > k {
+		limit = k
+	}
+	for c := 0; c < limit; c++ {
+		feasible := true
+		for u := 0; u < len(assign); u++ {
+			if assign[u] == c && g.adj[v][u] {
+				feasible = false
+				break
+			}
+		}
+		if !feasible {
+			continue
+		}
+		assign[v] = c
+		nextMax := maxUsed
+		if c == maxUsed {
+			nextMax++
+		}
+		if done, exh := g.tryColor(order, assign, pos+1, k, nextMax, budget); done {
+			return true, false
+		} else if exh {
+			assign[v] = -1
+			return false, true
+		}
+		assign[v] = -1
+	}
+	return false, false
+}
+
+// Assignment maps flows to their assigned color (link index).
+type Assignment map[model.Flow]int
+
+// ColorPipeDirection exactly colors one direction's conflict graph and
+// returns the color count and flow→color assignment.
+func ColorPipeDirection(flows []model.Flow, c model.PairSet) (int, Assignment, bool) {
+	g := BuildConflictGraph(flows, c)
+	k, assign, exact := g.Exact()
+	out := make(Assignment, len(flows))
+	for i, f := range g.Flows {
+		out[f] = assign[i]
+	}
+	return k, out, exact
+}

@@ -1,0 +1,52 @@
+package flitsim
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/trace"
+)
+
+func benchWorkload() *model.Pattern {
+	var phases []trace.PhaseSpec
+	for k := 1; k < 8; k++ {
+		var fs []model.Flow
+		for p := 0; p < 16; p++ {
+			fs = append(fs, model.F(p, (p+k)%16))
+		}
+		phases = append(phases, trace.PhaseSpec{Flows: fs, Bytes: 1024, ComputeAfter: 8})
+	}
+	return trace.BuildPhased("bench", 16, phases)
+}
+
+func BenchmarkMeshSimulation(b *testing.B) {
+	pat := benchWorkload()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := RunMesh(pat, Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.ExecCycles), "simcycles")
+	}
+}
+
+func BenchmarkTorusSimulation(b *testing.B) {
+	pat := benchWorkload()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunTorus(pat, Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCrossbarSimulation(b *testing.B) {
+	pat := benchWorkload()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunCrossbar(pat, Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package flitsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/trace"
+)
+
+// Conservation properties: every posted message is delivered exactly once,
+// and the network carries at least the minimum flit-hops implied by the
+// routes (inject + eject + per-hop traversals), over randomized workloads
+// on all three regular baselines.
+func TestFlitConservationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 8; trial++ {
+		procs := 8
+		if trial%2 == 1 {
+			procs = 16
+		}
+		var phases []trace.PhaseSpec
+		nPhases := 2 + rng.Intn(3)
+		for i := 0; i < nPhases; i++ {
+			shift := 1 + rng.Intn(procs-1)
+			var fs []model.Flow
+			for p := 0; p < procs; p++ {
+				fs = append(fs, model.F(p, (p+shift)%procs))
+			}
+			phases = append(phases, trace.PhaseSpec{
+				Flows: fs,
+				Bytes: 64 * (1 + rng.Intn(8)),
+			})
+		}
+		pat := trace.BuildPhased("conserve", procs, phases)
+		want := len(pat.Messages)
+
+		for _, runner := range []struct {
+			name string
+			run  func() (Result, error)
+		}{
+			{"mesh", func() (Result, error) { return RunMesh(pat, Config{}) }},
+			{"torus", func() (Result, error) { return RunTorus(pat, Config{}) }},
+			{"crossbar", func() (Result, error) { return RunCrossbar(pat, Config{}) }},
+		} {
+			res, err := runner.run()
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, runner.name, err)
+			}
+			if res.Messages != want {
+				t.Fatalf("trial %d %s: delivered %d/%d", trial, runner.name, res.Messages, want)
+			}
+			// Minimum flit-hops: every flit crosses inject + eject.
+			minFlits := 0
+			for _, m := range pat.Messages {
+				minFlits += 2 * (1 + m.Bytes/4)
+			}
+			if res.FlitHops < int64(minFlits) {
+				t.Fatalf("trial %d %s: flit-hops %d below floor %d", trial, runner.name, res.FlitHops, minFlits)
+			}
+			// Communication time is at least the overheads.
+			for p, comm := range res.PerProcComm {
+				if comm < 0 {
+					t.Fatalf("trial %d %s: negative comm for proc %d", trial, runner.name, p)
+				}
+			}
+		}
+	}
+}
+
+// Latency must never fall below the zero-load bound: flits plus route
+// pipeline depth.
+func TestLatencyFloor(t *testing.T) {
+	pat := onePhase(16, 1024, model.F(0, 15))
+	res, err := RunMesh(pat, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flits := 1 + 1024/4
+	hops := 6 + 2 // manhattan distance on 4x4 plus inject/eject
+	if res.MeanLatency < float64(flits+hops-1) {
+		t.Errorf("latency %.1f below zero-load floor %d", res.MeanLatency, flits+hops-1)
+	}
+}

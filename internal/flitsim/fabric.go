@@ -1,0 +1,204 @@
+package flitsim
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// flit is the unit of flow control.
+type flit struct {
+	pkt  *packet
+	head bool
+	tail bool
+}
+
+// vcBuf is one virtual channel's receive buffer, owned exclusively by a
+// packet from head arrival to tail departure (wormhole switching).
+type vcBuf struct {
+	ch        *channel
+	idx       int
+	buf       []flit
+	owner     *packet
+	out       *vcBuf // downstream VC allocated for this packet
+	inTransit int    // flits on the wire toward this buffer
+}
+
+// space reports whether one more flit may be sent toward this buffer
+// (credit check; credit round-trip latency is folded into link delay).
+func (v *vcBuf) space(cap int) bool { return len(v.buf)+v.inTransit < cap }
+
+func (v *vcBuf) String() string { return fmt.Sprintf("%v.vc%d", v.ch, v.idx) }
+
+// inflightFlit is a flit in a link's delay pipeline.
+type inflightFlit struct {
+	f  flit
+	to *vcBuf
+	at int64
+}
+
+// channel is one direction of one physical link, with per-VC buffers at the
+// receiving end and a fixed pipeline delay.
+type channel struct {
+	id       int
+	src, dst endpoint
+	linkIdx  int // index within the pipe (for source-routed link selection)
+	delay    int
+	vcs      []*vcBuf
+	inflight []inflightFlit
+	carried  int64 // flits transmitted (stats)
+	rr       int   // round-robin arbitration pointer
+}
+
+func (c *channel) String() string { return fmt.Sprintf("%v->%v#%d", c.src, c.dst, c.linkIdx) }
+
+// fabric is the simulated hardware: all channels plus endpoint indexes.
+type fabric struct {
+	net *topology.Network
+	cfg Config
+
+	channels []*channel
+	// outOf lists channels leaving a switch, inOf channels entering it.
+	outOf map[int][]*channel
+	inOf  map[int][]*channel
+	// inject[p] and eject[p] are processor p's NI channels.
+	inject []*channel
+	eject  []*channel
+	// link[(a,b,idx)] resolves a specific directed link.
+	link map[[3]int]*channel
+}
+
+func buildFabric(net *topology.Network, cfg Config) *fabric {
+	fb := &fabric{
+		net:    net,
+		cfg:    cfg,
+		outOf:  make(map[int][]*channel),
+		inOf:   make(map[int][]*channel),
+		inject: make([]*channel, net.Procs),
+		eject:  make([]*channel, net.Procs),
+		link:   make(map[[3]int]*channel),
+	}
+	delayOf := func(a, b topology.SwitchID) int {
+		if cfg.LinkDelay == nil {
+			return 1
+		}
+		if d := cfg.LinkDelay(a, b); d > 1 {
+			return d
+		}
+		return 1
+	}
+	add := func(src, dst endpoint, linkIdx, delay int) *channel {
+		c := &channel{
+			id:      len(fb.channels),
+			src:     src,
+			dst:     dst,
+			linkIdx: linkIdx,
+			delay:   delay,
+		}
+		for i := 0; i < cfg.VCs; i++ {
+			c.vcs = append(c.vcs, &vcBuf{ch: c, idx: i})
+		}
+		fb.channels = append(fb.channels, c)
+		if src.kind == endSwitch {
+			fb.outOf[src.id] = append(fb.outOf[src.id], c)
+		}
+		if dst.kind == endSwitch {
+			fb.inOf[dst.id] = append(fb.inOf[dst.id], c)
+		}
+		return c
+	}
+	for _, pipe := range net.Pipes {
+		d := delayOf(pipe.A, pipe.B)
+		for i := 0; i < pipe.Width; i++ {
+			ab := add(swEnd(pipe.A), swEnd(pipe.B), i, d)
+			ba := add(swEnd(pipe.B), swEnd(pipe.A), i, d)
+			fb.link[[3]int{int(pipe.A), int(pipe.B), i}] = ab
+			fb.link[[3]int{int(pipe.B), int(pipe.A), i}] = ba
+		}
+	}
+	for p := 0; p < net.Procs; p++ {
+		home := net.Home[p]
+		fb.inject[p] = add(procEnd(p), swEnd(home), 0, 1)
+		fb.eject[p] = add(swEnd(home), procEnd(p), 0, 1)
+	}
+	return fb
+}
+
+// channelsBetween returns all channels from switch a to switch b.
+func (fb *fabric) channelsBetween(a, b topology.SwitchID) []*channel {
+	var out []*channel
+	for _, c := range fb.outOf[int(a)] {
+		if c.dst == swEnd(b) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// freeVC returns the first unowned VC of the channel, or nil.
+func (c *channel) freeVC() *vcBuf {
+	for _, v := range c.vcs {
+		if v.owner == nil {
+			return v
+		}
+	}
+	return nil
+}
+
+// freeVCOf returns the first unowned VC among the allowed indices (nil
+// means any).
+func (c *channel) freeVCOf(allowed []int) *vcBuf {
+	if allowed == nil {
+		return c.freeVC()
+	}
+	for _, idx := range allowed {
+		if idx < len(c.vcs) && c.vcs[idx].owner == nil {
+			return c.vcs[idx]
+		}
+	}
+	return nil
+}
+
+// freeSpace totals the spare buffer slots across the channel's VCs — the
+// adaptivity metric used by TFAR output selection.
+func (c *channel) freeSpace(cap int) int {
+	total := 0
+	for _, v := range c.vcs {
+		total += cap - len(v.buf) - v.inTransit
+	}
+	return total
+}
+
+// packet is one message in flight.
+type packet struct {
+	msgID    int
+	src, dst int
+	flits    int
+	// route holds the source route (switch sequence plus per-hop link
+	// index); nil for networks with algorithmic routing.
+	routeSw   []topology.SwitchID
+	routeLink []int
+
+	sent, arrived int
+	injVC         *vcBuf
+	delivered     bool
+	postedAt      int64
+	deliveredAt   int64
+	lastProgress  int64
+	notBefore     int64
+	retries       int
+}
+
+// routeNext returns the source-routed next switch and link index after
+// switch sw, or ok=false if sw is the final switch.
+func (p *packet) routeNext(sw int) (next topology.SwitchID, linkIdx int, ok bool) {
+	for i, s := range p.routeSw {
+		if int(s) == sw {
+			if i+1 >= len(p.routeSw) {
+				return 0, 0, false
+			}
+			return p.routeSw[i+1], p.routeLink[i], true
+		}
+	}
+	return 0, 0, false
+}

@@ -1,0 +1,161 @@
+// Package flitsim is a flit-level network simulator — the reproduction's
+// stand-in for IRFlexSim [20], the simulator the paper's Section 4 uses for
+// trace-driven performance evaluation.
+//
+// It models wormhole-switched networks of input-queued switches with full
+// internal crossbars, virtual channels with credit-based flow control,
+// pipelined links whose delay equals their floorplanned length in tiles, and
+// script-driven end nodes that replay a communication pattern phase by phase
+// with configurable send/receive overheads. Routing is pluggable:
+// dimension-order for meshes, true fully adaptive (minimal) for tori, source
+// routing for generated irregular networks, and trivial routing for the
+// single-switch crossbar. Deadlocks — possible under adaptive and irregular
+// source routing — are handled as in the paper by timeout detection and
+// regressive recovery: the stalled packet is killed, drained, and
+// retransmitted from its source.
+//
+// Default parameters follow Section 4.2: 32-bit flits and links at 800 MHz,
+// 3 virtual channels per physical link, ten-cycle send and receive
+// overheads, and link delay equal to tile distance (minimum one cycle).
+package flitsim
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// Config holds simulator parameters. Zero values select the paper's
+// defaults.
+type Config struct {
+	// VCs is the number of virtual channels per physical link (default 3).
+	VCs int
+	// BufFlits is the buffer capacity of each virtual channel (default 8).
+	BufFlits int
+	// FlitBytes is the flit width (default 4 bytes = 32 bits).
+	FlitBytes int
+	// ClockMHz converts cycles to wall time in reports (default 800).
+	ClockMHz float64
+	// SendOverhead and RecvOverhead are the per-message software
+	// overheads in cycles (default 10 each, à la LogP [23]).
+	SendOverhead int
+	RecvOverhead int
+	// TraceUnitCycles converts a trace compute-time unit into processor
+	// busy cycles (default 16: one 64-byte trace unit at one flit per
+	// cycle).
+	TraceUnitCycles int
+	// DeadlockTimeout is the stall length, in cycles, after which a
+	// packet is declared deadlocked and regressively recovered. The
+	// default (8192) exceeds the drain time of the largest benchmark
+	// wormholes so healthy congestion is not misdiagnosed.
+	DeadlockTimeout int
+	// MaxCycles aborts runaway simulations (default 20,000,000).
+	MaxCycles int64
+	// LinkDelay gives the pipeline depth of the link between two
+	// switches in cycles (its floorplanned length in tiles, minimum 1).
+	// Nil means every link has delay 1.
+	LinkDelay func(a, b topology.SwitchID) int
+	// EnergySwitch and EnergyWire parameterize the abstract energy model
+	// (the power extension sketched in the paper's conclusion): each flit
+	// costs EnergySwitch per switch traversal plus EnergyWire per tile of
+	// wire crossed (link delay is the length proxy). Defaults 1.0 / 0.5.
+	EnergySwitch float64
+	EnergyWire   float64
+}
+
+func (c Config) normalized() Config {
+	if c.VCs == 0 {
+		c.VCs = 3
+	}
+	if c.BufFlits == 0 {
+		c.BufFlits = 8
+	}
+	if c.FlitBytes == 0 {
+		c.FlitBytes = 4
+	}
+	if c.ClockMHz == 0 {
+		c.ClockMHz = 800
+	}
+	if c.SendOverhead == 0 {
+		c.SendOverhead = 10
+	}
+	if c.RecvOverhead == 0 {
+		c.RecvOverhead = 10
+	}
+	if c.TraceUnitCycles == 0 {
+		c.TraceUnitCycles = 16
+	}
+	if c.DeadlockTimeout == 0 {
+		c.DeadlockTimeout = 8192
+	}
+	if c.MaxCycles == 0 {
+		c.MaxCycles = 20_000_000
+	}
+	if c.EnergySwitch == 0 {
+		c.EnergySwitch = 1.0
+	}
+	if c.EnergyWire == 0 {
+		c.EnergyWire = 0.5
+	}
+	return c
+}
+
+// Result aggregates a simulation run.
+type Result struct {
+	// ExecCycles is the total execution time: the cycle at which the
+	// last processor finished its script.
+	ExecCycles int64
+	// CommCycles is the mean, over processors, of cycles spent in
+	// communication: send/receive overheads plus blocking on receives.
+	CommCycles float64
+	// PerProcComm lists each processor's communication cycles.
+	PerProcComm []int64
+	// Messages is the number of messages delivered.
+	Messages int
+	// MeanLatency and MaxLatency summarize per-message network latency
+	// (send-posted to fully-received, in cycles).
+	MeanLatency float64
+	MaxLatency  int64
+	// FlitHops counts flit-link traversals (network load).
+	FlitHops int64
+	// Kills counts deadlock recoveries (killed and retransmitted
+	// packets).
+	Kills int
+	// PeakLinkUtil is the highest per-link utilization: flits carried
+	// divided by total cycles.
+	PeakLinkUtil float64
+	// EnergyUnits estimates network energy in abstract units: per-flit
+	// switch traversals plus wire length crossed (see Config.EnergySwitch
+	// and Config.EnergyWire).
+	EnergyUnits float64
+}
+
+// ExecTimeNs converts execution cycles to nanoseconds at the configured
+// clock.
+func (r Result) ExecTimeNs(cfg Config) float64 {
+	cfg = cfg.normalized()
+	return float64(r.ExecCycles) * 1e3 / cfg.ClockMHz
+}
+
+// endpointKind tags channel endpoints.
+type endpointKind int
+
+const (
+	endSwitch endpointKind = iota
+	endProc
+)
+
+type endpoint struct {
+	kind endpointKind
+	id   int
+}
+
+func swEnd(s topology.SwitchID) endpoint { return endpoint{kind: endSwitch, id: int(s)} }
+func procEnd(p int) endpoint             { return endpoint{kind: endProc, id: p} }
+
+func (e endpoint) String() string {
+	if e.kind == endProc {
+		return fmt.Sprintf("p%d", e.id)
+	}
+	return fmt.Sprintf("s%d", e.id)
+}

@@ -1,0 +1,74 @@
+package flitsim
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// Run simulates the pattern on the network with the given router.
+func Run(pat *model.Pattern, net *topology.Network, router Router, cfg Config) (Result, error) {
+	if err := pat.Validate(); err != nil {
+		return Result{}, fmt.Errorf("flitsim: %v", err)
+	}
+	if err := net.Validate(); err != nil {
+		return Result{}, fmt.Errorf("flitsim: %v", err)
+	}
+	if pat.Procs != net.Procs {
+		return Result{}, fmt.Errorf("flitsim: pattern has %d procs, network %d", pat.Procs, net.Procs)
+	}
+	cfg = cfg.normalized()
+	fb := buildFabric(net, cfg)
+	return Simulate(pat, router, fb)
+}
+
+// RunMesh simulates the pattern on a mesh with dimension-order routing.
+func RunMesh(pat *model.Pattern, cfg Config) (Result, error) {
+	rows, cols := topology.GridDims(pat.Procs)
+	net, grid := topology.Mesh(rows, cols)
+	return Run(pat, net, DOR{Grid: grid}, cfg)
+}
+
+// RunTorus simulates the pattern on a torus with true fully adaptive
+// minimal routing.
+func RunTorus(pat *model.Pattern, cfg Config) (Result, error) {
+	rows, cols := topology.GridDims(pat.Procs)
+	net, grid := topology.Torus(rows, cols)
+	return Run(pat, net, TFAR{Grid: grid}, cfg)
+}
+
+// RunCrossbar simulates the pattern on the ideal non-blocking crossbar.
+func RunCrossbar(pat *model.Pattern, cfg Config) (Result, error) {
+	net := topology.Crossbar(pat.Procs)
+	return Run(pat, net, XBar{}, cfg)
+}
+
+// RunGenerated simulates the pattern on a synthesized network using its
+// source-routing table. Flows present in the pattern but missing from the
+// table (e.g. when running a different application on the network, as in the
+// paper's sensitivity study) are routed by shortest path.
+func RunGenerated(pat *model.Pattern, net *topology.Network, table *routing.Table, cfg Config) (Result, error) {
+	var missing []model.Flow
+	for _, f := range pat.Flows() {
+		if _, ok := table.Routes[f]; !ok {
+			missing = append(missing, f)
+		}
+	}
+	if len(missing) == 0 {
+		return Run(pat, net, SourceRouted{Table: table}, cfg)
+	}
+	bfs, err := NewBFSRouted(net, missing)
+	if err != nil {
+		return Result{}, err
+	}
+	merged := routing.NewTable(net)
+	for f, r := range table.Routes {
+		merged.Routes[f] = r
+	}
+	for f, r := range bfs.Table.Routes {
+		merged.Routes[f] = r
+	}
+	return Run(pat, net, SourceRouted{Table: merged}, cfg)
+}

@@ -1,0 +1,22 @@
+package floorplan
+
+import (
+	"testing"
+
+	"repro/internal/nas"
+	"repro/internal/synth"
+)
+
+func BenchmarkPlaceCG16(b *testing.B) {
+	pat := nas.Figure1Pattern()
+	res, err := synth.Synthesize(pat, synth.Options{Seed: 1, Restarts: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Place(res.Net, Options{Seed: 1, Restarts: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,499 @@
+// Package floorplan implements the paper's 2-D tile-based area model
+// (Section 4.1): the chip is a grid of processor tiles à la MIT RAW, each
+// with its network interface at a corner; switches occupy tile corners and
+// may be shared by up to the four tiles meeting there (the paper's
+// variable-orientation tiling); link area is proportional to the number of
+// tiles a wire crosses.
+//
+// Quantitatively (calibrated to the paper's two anchors):
+//
+//   - The mesh baseline uses the fixed-orientation tiling of Figure 6(a):
+//     every switch occupies its own corner and every link crosses exactly
+//     one tile, so mesh link area equals the link count; a torus needs the
+//     same switch area and twice the link area (Section 4.1).
+//   - Generated networks use the variable-orientation tiling of Figure
+//     6(b): switches are placed on the corner lattice by a seeded annealing
+//     optimizer; a link between switches at lattice (manhattan) distance d
+//     crosses max(0, d-1) tiles — zero for physically adjacent switches,
+//     "as much as two" for the farther pairs of Figure 6(b).
+//
+// The same geometry supplies per-link delays for the flit simulator: delay
+// equals a link's length in tiles with a minimum of one cycle.
+package floorplan
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/topology"
+)
+
+// Point is a corner-lattice coordinate. For an R x C tile grid the lattice
+// spans (R+1) x (C+1) points.
+type Point struct {
+	R, C int
+}
+
+func manhattan(a, b Point) int {
+	dr, dc := a.R-b.R, a.C-b.C
+	if dr < 0 {
+		dr = -dr
+	}
+	if dc < 0 {
+		dc = -dc
+	}
+	return dr + dc
+}
+
+// linkCost is the tiles crossed by a wire between two switch corners.
+func linkCost(a, b Point) int {
+	if d := manhattan(a, b); d > 1 {
+		return d - 1
+	}
+	return 0
+}
+
+// Plan is a placed floorplan for a network.
+type Plan struct {
+	// Rows and Cols give the tile grid dimensions.
+	Rows, Cols int
+	// SwitchPos maps each switch to its corner-lattice point.
+	SwitchPos []Point
+	// ProcTile maps each processor to its tile (row, col).
+	ProcTile []Point
+	// SwitchArea is the number of switches (uniform 5-port switch area
+	// units).
+	SwitchArea int
+	// LinkArea is the total tiles crossed by switch-to-switch wires,
+	// weighted by pipe width.
+	LinkArea int
+	// ProcLinkArea is the tiles crossed by processor-to-switch wires
+	// (zero when every processor's switch sits on a corner of its tile).
+	ProcLinkArea int
+}
+
+// TotalArea sums link and processor-link area (switch area is reported
+// separately, as in Figure 7).
+func (p *Plan) TotalArea() int { return p.LinkArea + p.ProcLinkArea }
+
+// LinkDelay returns the simulator delay of the pipe between two switches:
+// its length in tiles, minimum one cycle.
+func (p *Plan) LinkDelay(a, b topology.SwitchID) int {
+	d := linkCost(p.SwitchPos[a], p.SwitchPos[b])
+	if d < 1 {
+		return 1
+	}
+	return d
+}
+
+// MeshBaseline returns the fixed-orientation mesh accounting for n
+// processors: one switch per tile and one tile crossed per link.
+func MeshBaseline(procs int) (switchArea, linkArea int) {
+	rows, cols := topology.GridDims(procs)
+	mesh, _ := topology.Mesh(rows, cols)
+	return mesh.NumSwitches(), mesh.TotalLinks()
+}
+
+// TorusBaseline returns the torus accounting: same switch area as the mesh
+// and double its link area (Section 4.1: "the same total switch area as
+// that in a mesh is needed, but double the total link area is required").
+func TorusBaseline(procs int) (switchArea, linkArea int) {
+	sw, la := MeshBaseline(procs)
+	return sw, 2 * la
+}
+
+// Options tunes the placement search.
+type Options struct {
+	// Seed makes placement reproducible.
+	Seed int64
+	// Restarts is the number of independent searches (default 4).
+	Restarts int
+	// Sweeps bounds improvement passes per restart (default 64).
+	Sweeps int
+}
+
+func (o Options) normalized() Options {
+	if o.Restarts == 0 {
+		o.Restarts = 4
+	}
+	if o.Sweeps == 0 {
+		o.Sweeps = 64
+	}
+	return o
+}
+
+// Place computes a variable-orientation floorplan for the network: switches
+// on corner-lattice points, processors on tiles, minimizing link area then
+// processor-link area. Deterministic for a given seed.
+func Place(net *topology.Network, opt Options) (*Plan, error) {
+	if err := net.Validate(); err != nil {
+		return nil, fmt.Errorf("floorplan: %v", err)
+	}
+	opt = opt.normalized()
+	rows, cols := topology.GridDims(net.Procs)
+	corners := (rows + 1) * (cols + 1)
+	if net.NumSwitches() > corners {
+		return nil, fmt.Errorf("floorplan: %d switches exceed %d corner sites", net.NumSwitches(), corners)
+	}
+	var best *placement
+	for r := 0; r < opt.Restarts; r++ {
+		pl := newPlacement(net, rows, cols, rand.New(rand.NewSource(opt.Seed+int64(r)*104729)))
+		pl.optimize(opt.Sweeps)
+		if best == nil || pl.cost() < best.cost() {
+			best = pl
+		}
+	}
+	return best.plan(), nil
+}
+
+// placement is the mutable search state.
+type placement struct {
+	net        *topology.Network
+	rows, cols int
+	rng        *rand.Rand
+	swPos      []Point // per switch
+	posUsed    map[Point]topology.SwitchID
+	procTile   []Point // per proc
+	tileUsed   map[Point]int
+}
+
+func newPlacement(net *topology.Network, rows, cols int, rng *rand.Rand) *placement {
+	pl := &placement{
+		net:      net,
+		rows:     rows,
+		cols:     cols,
+		rng:      rng,
+		swPos:    make([]Point, net.NumSwitches()),
+		posUsed:  make(map[Point]topology.SwitchID),
+		procTile: make([]Point, net.Procs),
+		tileUsed: make(map[Point]int),
+	}
+	// Initial switch placement: greedy BFS from the highest-degree
+	// switch, each next switch at the free corner minimizing cost to its
+	// already-placed neighbors.
+	order := pl.bfsOrder()
+	placed := make([]bool, net.NumSwitches())
+	for _, sw := range order {
+		bestP := Point{-1, -1}
+		bestCost := 1 << 30
+		for r := 0; r <= rows; r++ {
+			for c := 0; c <= cols; c++ {
+				p := Point{r, c}
+				if _, used := pl.posUsed[p]; used {
+					continue
+				}
+				cost := 0
+				for _, nb := range pl.net.Neighbors(sw) {
+					if placed[nb] {
+						w := 1
+						if pipe, ok2 := pl.net.PipeBetween(sw, nb); ok2 {
+							w = pipe.Width
+						}
+						cost += w * linkCost(p, pl.swPos[nb])
+					}
+				}
+				if cost < bestCost {
+					bestCost = cost
+					bestP = p
+				}
+			}
+		}
+		pl.setSwitch(sw, bestP)
+		placed[sw] = true
+	}
+	// Initial processor placement: adjacent free tile when possible.
+	for p := 0; p < net.Procs; p++ {
+		home := net.Home[p]
+		tile := pl.bestTileFor(home)
+		pl.setProc(p, tile)
+	}
+	return pl
+}
+
+func (pl *placement) bfsOrder() []topology.SwitchID {
+	n := pl.net.NumSwitches()
+	start := topology.SwitchID(0)
+	bestDeg := -1
+	for sw := 0; sw < n; sw++ {
+		if d := pl.net.Degree(topology.SwitchID(sw)); d > bestDeg {
+			bestDeg = d
+			start = topology.SwitchID(sw)
+		}
+	}
+	visited := make([]bool, n)
+	order := []topology.SwitchID{start}
+	visited[start] = true
+	for i := 0; i < len(order); i++ {
+		for _, nb := range pl.net.Neighbors(order[i]) {
+			if !visited[nb] {
+				visited[nb] = true
+				order = append(order, nb)
+			}
+		}
+	}
+	for sw := 0; sw < n; sw++ {
+		if !visited[sw] {
+			visited[sw] = true
+			order = append(order, topology.SwitchID(sw))
+		}
+	}
+	return order
+}
+
+func (pl *placement) setSwitch(sw topology.SwitchID, p Point) {
+	old := pl.swPos[sw]
+	if pl.posUsed[old] == sw {
+		delete(pl.posUsed, old)
+	}
+	pl.swPos[sw] = p
+	pl.posUsed[p] = sw
+}
+
+func (pl *placement) setProc(proc int, tile Point) {
+	old := pl.procTile[proc]
+	if pl.tileUsed[old] == proc+1 {
+		delete(pl.tileUsed, old)
+	}
+	pl.procTile[proc] = tile
+	pl.tileUsed[tile] = proc + 1
+}
+
+// bestTileFor returns the free tile minimizing distance to the switch's
+// corner.
+func (pl *placement) bestTileFor(sw topology.SwitchID) Point {
+	best := Point{-1, -1}
+	bestCost := 1 << 30
+	for r := 0; r < pl.rows; r++ {
+		for c := 0; c < pl.cols; c++ {
+			tile := Point{r, c}
+			if pl.tileUsed[tile] != 0 {
+				continue
+			}
+			cost := procCost(tile, pl.swPos[sw])
+			if cost < bestCost {
+				bestCost = cost
+				best = tile
+			}
+		}
+	}
+	return best
+}
+
+// procCost is the tiles crossed by the wire from a tile's NI to the
+// switch's corner: zero when the switch sits on one of the tile's corners.
+func procCost(tile, sw Point) int {
+	best := 1 << 30
+	for _, corner := range []Point{
+		{tile.R, tile.C}, {tile.R, tile.C + 1}, {tile.R + 1, tile.C}, {tile.R + 1, tile.C + 1},
+	} {
+		if d := manhattan(corner, sw); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func (pl *placement) linkArea() int {
+	total := 0
+	for _, pipe := range pl.net.Pipes {
+		total += pipe.Width * linkCost(pl.swPos[pipe.A], pl.swPos[pipe.B])
+	}
+	return total
+}
+
+func (pl *placement) procArea() int {
+	total := 0
+	for p := 0; p < pl.net.Procs; p++ {
+		total += procCost(pl.procTile[p], pl.swPos[pl.net.Home[p]])
+	}
+	return total
+}
+
+// cost prioritizes processor adjacency (the paper's tiling always places a
+// tile's NI on a corner its switch occupies), then link area.
+func (pl *placement) cost() int { return pl.procArea()*1024 + pl.linkArea() }
+
+// adjacentTiles lists the tiles touching a corner point, in grid range.
+func (pl *placement) adjacentTiles(pt Point) []Point {
+	var out []Point
+	for _, t := range []Point{{pt.R - 1, pt.C - 1}, {pt.R - 1, pt.C}, {pt.R, pt.C - 1}, {pt.R, pt.C}} {
+		if t.R >= 0 && t.R < pl.rows && t.C >= 0 && t.C < pl.cols {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// reassignProcs reassigns all processor tiles from scratch. Adjacency
+// (every processor on a tile touching its switch's corner) is a bipartite
+// matching problem, solved exactly with augmenting paths; processors the
+// matching cannot place adjacently fall back to the nearest free tile.
+func (pl *placement) reassignProcs() {
+	for p := range pl.procTile {
+		if pl.tileUsed[pl.procTile[p]] == p+1 {
+			delete(pl.tileUsed, pl.procTile[p])
+		}
+	}
+	matchTile := make(map[Point]int) // tile -> proc+1
+	matchProc := make([]Point, pl.net.Procs)
+	for i := range matchProc {
+		matchProc[i] = Point{-1, -1}
+	}
+	var augment func(p int, visited map[Point]bool) bool
+	augment = func(p int, visited map[Point]bool) bool {
+		for _, t := range pl.adjacentTiles(pl.swPos[pl.net.Home[p]]) {
+			if visited[t] {
+				continue
+			}
+			visited[t] = true
+			holder := matchTile[t] - 1
+			if holder < 0 || augment(holder, visited) {
+				matchTile[t] = p + 1
+				matchProc[p] = t
+				return true
+			}
+		}
+		return false
+	}
+	for p := 0; p < pl.net.Procs; p++ {
+		augment(p, make(map[Point]bool))
+	}
+	// Commit matched processors, then place the rest greedily.
+	for p := 0; p < pl.net.Procs; p++ {
+		if matchProc[p].R >= 0 {
+			pl.setProc(p, matchProc[p])
+		}
+	}
+	for p := 0; p < pl.net.Procs; p++ {
+		if matchProc[p].R < 0 {
+			pl.setProc(p, pl.bestTileFor(pl.net.Home[p]))
+		}
+	}
+}
+
+// snapshotTiles and restoreTiles save and restore the processor assignment.
+func (pl *placement) snapshotTiles() []Point { return append([]Point(nil), pl.procTile...) }
+
+func (pl *placement) restoreTiles(tiles []Point) {
+	for p := range pl.procTile {
+		if pl.tileUsed[pl.procTile[p]] == p+1 {
+			delete(pl.tileUsed, pl.procTile[p])
+		}
+	}
+	for p, tile := range tiles {
+		pl.setProc(p, tile)
+	}
+}
+
+// costReassigned evaluates the cost the current switch placement would have
+// with processors reassigned from scratch, leaving the placement unchanged.
+func (pl *placement) costReassigned() int {
+	saved := pl.snapshotTiles()
+	pl.reassignProcs()
+	c := pl.cost()
+	pl.restoreTiles(saved)
+	return c
+}
+
+// optimize runs improvement sweeps: switch relocations and swaps — each
+// evaluated with processors re-placed, since a switch move is only as good
+// as the tiles its processors can then claim — followed by processor-level
+// refinement. Strict improvements are committed.
+func (pl *placement) optimize(sweeps int) {
+	for sweep := 0; sweep < sweeps; sweep++ {
+		improved := false
+		for sw := 0; sw < pl.net.NumSwitches(); sw++ {
+			id := topology.SwitchID(sw)
+			cur := pl.costReassigned()
+			oldPos := pl.swPos[id]
+			bestPos := oldPos
+			bestCost := cur
+			for r := 0; r <= pl.rows; r++ {
+				for c := 0; c <= pl.cols; c++ {
+					p := Point{r, c}
+					if _, used := pl.posUsed[p]; used {
+						continue
+					}
+					pl.setSwitch(id, p)
+					if cost := pl.costReassigned(); cost < bestCost {
+						bestCost = cost
+						bestPos = p
+					}
+				}
+			}
+			pl.setSwitch(id, bestPos)
+			if bestPos != oldPos {
+				improved = true
+			}
+			// Swaps with other switches.
+			for other := sw + 1; other < pl.net.NumSwitches(); other++ {
+				oid := topology.SwitchID(other)
+				a, b := pl.swPos[id], pl.swPos[oid]
+				cur := pl.costReassigned()
+				pl.setSwitch(id, Point{-1, -1})
+				pl.setSwitch(oid, a)
+				pl.setSwitch(id, b)
+				if pl.costReassigned() < cur {
+					improved = true
+				} else {
+					pl.setSwitch(id, Point{-1, -2})
+					pl.setSwitch(oid, b)
+					pl.setSwitch(id, a)
+				}
+			}
+		}
+		// Commit the reassignment implied by the final switch layout if
+		// it helps, then refine processors individually.
+		if saved := pl.snapshotTiles(); true {
+			before := pl.cost()
+			pl.reassignProcs()
+			if pl.cost() < before {
+				improved = true
+			} else {
+				pl.restoreTiles(saved)
+			}
+		}
+		for p := 0; p < pl.net.Procs; p++ {
+			cur := pl.cost()
+			oldTile := pl.procTile[p]
+			tile := pl.bestTileFor(pl.net.Home[p])
+			if tile.R >= 0 {
+				pl.setProc(p, tile)
+				if pl.cost() < cur {
+					improved = true
+				} else {
+					pl.setProc(p, oldTile)
+				}
+			}
+			for q := p + 1; q < pl.net.Procs; q++ {
+				cur := pl.cost()
+				a, b := pl.procTile[p], pl.procTile[q]
+				pl.setProc(p, Point{-1, -1})
+				pl.setProc(q, a)
+				pl.setProc(p, b)
+				if pl.cost() < cur {
+					improved = true
+				} else {
+					pl.setProc(p, Point{-1, -2})
+					pl.setProc(q, b)
+					pl.setProc(p, a)
+				}
+			}
+		}
+		if !improved {
+			return
+		}
+	}
+}
+
+func (pl *placement) plan() *Plan {
+	return &Plan{
+		Rows:         pl.rows,
+		Cols:         pl.cols,
+		SwitchPos:    append([]Point(nil), pl.swPos...),
+		ProcTile:     append([]Point(nil), pl.procTile...),
+		SwitchArea:   pl.net.NumSwitches(),
+		LinkArea:     pl.linkArea(),
+		ProcLinkArea: pl.procArea(),
+	}
+}

@@ -1,0 +1,54 @@
+package floorplan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/topology"
+)
+
+// Render draws the floorplan as ASCII art: the tile grid with processor
+// numbers in the cells and switch numbers on the corner lattice — the
+// textual analogue of the paper's Figure 6.
+func (p *Plan) Render(net *topology.Network) string {
+	const cell = 7
+	swAt := make(map[Point]topology.SwitchID)
+	for sw, pos := range p.SwitchPos {
+		swAt[pos] = topology.SwitchID(sw)
+	}
+	procAt := make(map[Point]int)
+	for proc, tile := range p.ProcTile {
+		procAt[tile] = proc + 1 // 0 means empty
+	}
+	var b strings.Builder
+	for r := 0; r <= p.Rows; r++ {
+		// Corner line.
+		for c := 0; c <= p.Cols; c++ {
+			if sw, ok := swAt[Point{r, c}]; ok {
+				fmt.Fprintf(&b, "%-*s", cell, fmt.Sprintf("[S%d]", sw))
+			} else {
+				fmt.Fprintf(&b, "%-*s", cell, "+")
+			}
+		}
+		b.WriteByte('\n')
+		if r == p.Rows {
+			break
+		}
+		// Tile line.
+		for c := 0; c < p.Cols; c++ {
+			if proc := procAt[Point{r, c}]; proc != 0 {
+				fmt.Fprintf(&b, "%-*s", cell, fmt.Sprintf("  p%d", proc-1))
+			} else {
+				fmt.Fprintf(&b, "%-*s", cell, "  .")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "switch area %d, link area %d (proc wiring %d)\n",
+		p.SwitchArea, p.LinkArea, p.ProcLinkArea)
+	for _, pipe := range net.Pipes {
+		fmt.Fprintf(&b, "  S%d--S%d width %d length %d tile(s)\n",
+			pipe.A, pipe.B, pipe.Width, linkCost(p.SwitchPos[pipe.A], p.SwitchPos[pipe.B]))
+	}
+	return b.String()
+}

@@ -1,0 +1,112 @@
+// Package harness reproduces every quantitative result of the paper's
+// evaluation (Section 4): the Figure 7 resource comparison, the Figure 8
+// performance comparison, the Section 4.2 cross-pattern sensitivity study,
+// the Section 3.4 design walkthrough on the Figure 1 pattern, and the
+// methodology ablations called out in DESIGN.md. Each experiment returns
+// structured rows and can render itself as a text table.
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/flitsim"
+	"repro/internal/floorplan"
+	"repro/internal/model"
+	"repro/internal/nas"
+	"repro/internal/synth"
+	"repro/internal/topology"
+)
+
+// Config scales the experiments. The zero value reproduces the paper-scale
+// runs; Quick() shrinks workloads for tests.
+type Config struct {
+	// Seed drives every randomized component.
+	Seed int64
+	// Iterations overrides the per-benchmark main-loop iteration count
+	// (0 = generator defaults).
+	Iterations int
+	// ByteScale scales message sizes (0 = 1.0).
+	ByteScale float64
+	// SynthRestarts overrides synthesis restarts (0 = default).
+	SynthRestarts int
+	// Sim carries simulator parameters.
+	Sim flitsim.Config
+}
+
+// Quick returns a configuration small enough for unit tests while
+// preserving every phase structure.
+func Quick() Config {
+	return Config{Seed: 1, Iterations: 1, ByteScale: 0.25, SynthRestarts: 2}
+}
+
+// Paper returns the full-scale configuration used by cmd/paperfigs and the
+// benchmarks.
+func Paper() Config { return Config{Seed: 1} }
+
+func (c Config) nasConfig() nas.Config {
+	return nas.Config{Iterations: c.Iterations, ByteScale: c.ByteScale}
+}
+
+func (c Config) synthOptions() synth.Options {
+	return synth.Options{Seed: c.Seed, Restarts: c.SynthRestarts}
+}
+
+// Design bundles everything the experiments need about one synthesized
+// network.
+type Design struct {
+	Benchmark string
+	Procs     int
+	Pattern   *model.Pattern
+	Result    *synth.Result
+	Plan      *floorplan.Plan
+}
+
+// BuildDesign generates the pattern, synthesizes the network, and
+// floorplans it.
+func (c Config) BuildDesign(benchmark string, procs int) (*Design, error) {
+	pat, err := nas.Generate(benchmark, procs, c.nasConfig())
+	if err != nil {
+		return nil, err
+	}
+	res, err := synth.Synthesize(pat, c.synthOptions())
+	if err != nil {
+		return nil, err
+	}
+	plan, err := floorplan.Place(res.Net, floorplan.Options{Seed: c.Seed})
+	if err != nil {
+		return nil, err
+	}
+	return &Design{
+		Benchmark: benchmark,
+		Procs:     procs,
+		Pattern:   pat,
+		Result:    res,
+		Plan:      plan,
+	}, nil
+}
+
+// simulateGenerated runs a pattern on a design's network with its
+// floorplanned link delays.
+func (c Config) simulateGenerated(pat *model.Pattern, d *Design) (flitsim.Result, error) {
+	cfg := c.Sim
+	cfg.LinkDelay = d.Plan.LinkDelay
+	return flitsim.RunGenerated(pat, d.Result.Net, d.Result.Table, cfg)
+}
+
+// simulateBaseline runs a pattern on one of the regular baselines.
+func (c Config) simulateBaseline(pat *model.Pattern, topo string) (flitsim.Result, error) {
+	switch topo {
+	case "crossbar":
+		return flitsim.RunCrossbar(pat, c.Sim)
+	case "mesh":
+		return flitsim.RunMesh(pat, c.Sim)
+	case "torus":
+		// Folded on-chip torus: every link spans two tiles
+		// (Section 4.2 penalizes the torus's doubled wiring).
+		cfg := c.Sim
+		cfg.LinkDelay = func(a, b topology.SwitchID) int { return 2 }
+		return flitsim.RunTorus(pat, cfg)
+	default:
+		return flitsim.Result{}, fmt.Errorf("harness: unknown baseline %q", topo)
+	}
+}

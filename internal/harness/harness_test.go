@@ -1,0 +1,259 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWalkthroughMatchesPaper(t *testing.T) {
+	w, err := Quick().Walkthrough()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.MaxCliques != 3 {
+		t.Errorf("maximum clique set = %d, want 3", w.MaxCliques)
+	}
+	if w.Cut1Links != 4 || w.Cut1Exact != 4 {
+		t.Errorf("Cut 1 = %d/%d, want 4/4", w.Cut1Links, w.Cut1Exact)
+	}
+	if w.Cut2Links != 3 || w.Cut2Exact != 3 {
+		t.Errorf("Cut 2 = %d/%d, want 3/3", w.Cut2Links, w.Cut2Exact)
+	}
+	if !w.ConstraintsMet || !w.ContentionFree {
+		t.Errorf("walkthrough network: met=%v free=%v", w.ConstraintsMet, w.ContentionFree)
+	}
+	if w.MaxDegree > 5 {
+		t.Errorf("max degree %d", w.MaxDegree)
+	}
+	if w.SwitchArea >= w.MeshSwArea {
+		t.Errorf("switch area %d not below mesh %d", w.SwitchArea, w.MeshSwArea)
+	}
+	out := w.Render()
+	if !strings.Contains(out, "Cut 1") || !strings.Contains(out, "Theorem 1") {
+		t.Errorf("render missing sections:\n%s", out)
+	}
+}
+
+func TestFigure7SmallShape(t *testing.T) {
+	rows, err := Quick().Figure7("small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if !r.ConstraintsMet {
+			t.Errorf("%s/%d: constraints unmet", r.Benchmark, r.Procs)
+		}
+		if !r.ContentionFree {
+			t.Errorf("%s/%d: not contention-free", r.Benchmark, r.Procs)
+		}
+		// The headline claim: generated networks never use more
+		// switches than the mesh, and substantially fewer for the
+		// simpler patterns.
+		if r.SwitchRatio > 1.0 {
+			t.Errorf("%s/%d: switch ratio %.2f > 1", r.Benchmark, r.Procs, r.SwitchRatio)
+		}
+	}
+	out := RenderResourceTable("fig7a", rows)
+	if !strings.Contains(out, "CG") {
+		t.Errorf("table missing CG:\n%s", out)
+	}
+}
+
+func TestFigure7LargeCGBestReduction(t *testing.T) {
+	rows, err := Quick().Figure7("large")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cg *ResourceRow
+	for i := range rows {
+		if rows[i].Benchmark == "CG" {
+			cg = &rows[i]
+		}
+	}
+	if cg == nil {
+		t.Fatal("no CG row")
+	}
+	// Paper: CG-16 achieves ~50% switch and ~42% link area of the mesh.
+	if cg.SwitchRatio > 0.7 {
+		t.Errorf("CG-16 switch ratio %.2f, paper ~0.5", cg.SwitchRatio)
+	}
+	if cg.LinkRatioMesh > 0.8 {
+		t.Errorf("CG-16 link ratio %.2f, paper ~0.42", cg.LinkRatioMesh)
+	}
+	if cg.LinkRatioTorus >= cg.LinkRatioMesh {
+		t.Errorf("torus ratio %.2f should be half the mesh ratio %.2f", cg.LinkRatioTorus, cg.LinkRatioMesh)
+	}
+}
+
+func TestFigure8ForCG(t *testing.T) {
+	rows, err := Quick().Figure8For("CG", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byTopo := map[string]PerfRow{}
+	for _, r := range rows {
+		byTopo[r.Topology] = r
+	}
+	xbar := byTopo["crossbar"]
+	gen := byTopo["generated"]
+	mesh := byTopo["mesh"]
+	if xbar.ExecNorm != 1 {
+		t.Errorf("crossbar norm = %f", xbar.ExecNorm)
+	}
+	// Paper's shape: the generated network tracks the crossbar closely
+	// (within 4% in the paper; allow slack for the scaled-down quick
+	// config) and beats the mesh.
+	if gen.ExecNorm > 1.25 {
+		t.Errorf("generated %.3f not close to crossbar", gen.ExecNorm)
+	}
+	if gen.ExecCycles > mesh.ExecCycles {
+		t.Errorf("generated (%d) slower than mesh (%d)", gen.ExecCycles, mesh.ExecCycles)
+	}
+	out := RenderPerfTable("fig8", rows)
+	if !strings.Contains(out, "crossbar") {
+		t.Errorf("table missing crossbar:\n%s", out)
+	}
+}
+
+func TestSensitivityOrdering(t *testing.T) {
+	rows, err := Quick().Sensitivity([]string{"BT", "FFT"}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	var bt, fft SensitivityRow
+	for _, r := range rows {
+		switch r.Benchmark {
+		case "BT":
+			bt = r
+		case "FFT":
+			fft = r
+		}
+	}
+	// Paper: FFT suffers <2% on the CG network; BT ~20%. Assert the
+	// ordering (BT degrades more) and that FFT stays modest.
+	if bt.Degradation < fft.Degradation {
+		t.Errorf("BT degradation %.1f%% should exceed FFT's %.1f%%",
+			100*bt.Degradation, 100*fft.Degradation)
+	}
+	out := RenderSensitivityTable(rows)
+	if !strings.Contains(out, "BT") {
+		t.Errorf("table missing BT:\n%s", out)
+	}
+}
+
+func TestColoringQualityTightness(t *testing.T) {
+	rows, err := Quick().ColoringQuality(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Pipes == 0 {
+			t.Errorf("%s: no pipes measured", r.Benchmark)
+			continue
+		}
+		// Section 3.3: fast coloring is a close lower bound.
+		if r.Tight*10 < r.Pipes*8 {
+			t.Errorf("%s: fast coloring tight on only %d/%d pipes", r.Benchmark, r.Tight, r.Pipes)
+		}
+		if r.MaxGap > 2 {
+			t.Errorf("%s: max fast-vs-formal gap %d", r.Benchmark, r.MaxGap)
+		}
+	}
+	_ = RenderColoringQuality(rows)
+}
+
+func TestAblationsRun(t *testing.T) {
+	rows, err := Quick().Ablations("CG", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Free {
+			t.Errorf("variant %s broke contention freedom", r.Variant)
+		}
+		if r.Links <= 0 || r.Switches <= 0 {
+			t.Errorf("variant %s produced empty network", r.Variant)
+		}
+	}
+	_ = RenderAblations(rows)
+}
+
+func TestSkewRobustnessMonotone(t *testing.T) {
+	rows, err := Quick().SkewRobustness("CG", 16, []float64{0, 0.5, 4, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Witnesses != 0 {
+		t.Errorf("zero skew must be contention-free, got %d witnesses", rows[0].Witnesses)
+	}
+	if rows[len(rows)-1].Witnesses < rows[0].Witnesses {
+		t.Errorf("witnesses should not decrease with heavy skew: %+v", rows)
+	}
+	_ = RenderSkewTable("CG", rows)
+}
+
+func TestBuildDesignInvalidBenchmark(t *testing.T) {
+	if _, err := Quick().BuildDesign("LU", 8); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestMultiAppSharedNetwork(t *testing.T) {
+	res, err := Quick().MultiApp([]string{"CG", "FFT"}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ConstraintsMet {
+		t.Error("shared network violates constraints")
+	}
+	for _, app := range res.Apps {
+		if !res.FreeFor[app] {
+			t.Errorf("shared network not contention-free for %s", app)
+		}
+		if res.ExecRatio[app] <= 0 {
+			t.Errorf("%s exec ratio %f", app, res.ExecRatio[app])
+		}
+	}
+	// Sharing must not cost more hardware than two dedicated networks.
+	sum := res.OwnSwitches["CG"] + res.OwnSwitches["FFT"]
+	if res.MergedSwitches > sum {
+		t.Errorf("shared switches %d exceed separate total %d", res.MergedSwitches, sum)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "shared network") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestScalingSweep(t *testing.T) {
+	rows, err := Quick().Scaling("CG", []int{8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.ConstraintsMet || !r.ContentionFree {
+			t.Errorf("%d procs: met=%v free=%v", r.Procs, r.ConstraintsMet, r.ContentionFree)
+		}
+		if r.SwitchRatio > 1 || r.LinkRatioMesh > 1 {
+			t.Errorf("%d procs: ratios %.2f/%.2f exceed mesh", r.Procs, r.SwitchRatio, r.LinkRatioMesh)
+		}
+	}
+	if !strings.Contains(RenderScaling("CG", rows), "sw/mesh") {
+		t.Error("render missing header")
+	}
+}

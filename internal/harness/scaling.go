@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/floorplan"
+)
+
+// ScalingRow tracks how the methodology's savings evolve with system size —
+// the paper motivates the approach with chips reaching "well into the high
+// tens" of cores.
+type ScalingRow struct {
+	Procs          int
+	Switches       int
+	Links          int
+	SwitchRatio    float64
+	LinkRatioMesh  float64
+	ConstraintsMet bool
+	ContentionFree bool
+}
+
+// Scaling synthesizes networks for one benchmark across processor counts
+// and reports resources normalized to the mesh at each size.
+func (c Config) Scaling(benchmark string, sizes []int) ([]ScalingRow, error) {
+	// Large instances are expensive; a single restart per size keeps the
+	// sweep tractable while adaptive retries still rescue failed runs.
+	cfg := c
+	if cfg.SynthRestarts == 0 {
+		cfg.SynthRestarts = 1
+	}
+	var rows []ScalingRow
+	for _, n := range sizes {
+		d, err := cfg.BuildDesign(benchmark, n)
+		if err != nil {
+			return nil, fmt.Errorf("scaling %s/%d: %v", benchmark, n, err)
+		}
+		meshSw, meshLink := floorplan.MeshBaseline(n)
+		rows = append(rows, ScalingRow{
+			Procs:          n,
+			Switches:       d.Result.Net.NumSwitches(),
+			Links:          d.Result.Net.TotalLinks(),
+			SwitchRatio:    float64(d.Plan.SwitchArea) / float64(meshSw),
+			LinkRatioMesh:  float64(d.Plan.TotalArea()) / float64(meshLink),
+			ConstraintsMet: d.Result.ConstraintsMet,
+			ContentionFree: d.Result.ContentionFree,
+		})
+	}
+	return rows, nil
+}
+
+// RenderScaling formats the scaling sweep.
+func RenderScaling(benchmark string, rows []ScalingRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Scaling of %s-generated networks (normalized to mesh)\n", benchmark)
+	fmt.Fprintf(&b, "%6s | %8s %6s | %9s %9s | %-5s %-5s\n",
+		"procs", "switches", "links", "sw/mesh", "lnk/mesh", "degOK", "free")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%6d | %8d %6d | %9.2f %9.2f | %-5v %-5v\n",
+			r.Procs, r.Switches, r.Links, r.SwitchRatio, r.LinkRatioMesh,
+			r.ConstraintsMet, r.ContentionFree)
+	}
+	return b.String()
+}

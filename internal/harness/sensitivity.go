@@ -1,0 +1,71 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/nas"
+)
+
+// SensitivityRow is one entry of the Section 4.2 cross-pattern study: a
+// benchmark running on the network generated for CG, compared to running on
+// its own generated network.
+type SensitivityRow struct {
+	Benchmark string
+	Procs     int
+
+	OwnExec  int64
+	OnCGExec int64
+	// Degradation is OnCGExec/OwnExec - 1; the paper reports <2% for FFT
+	// and ~20% for BT at 16 nodes.
+	Degradation float64
+}
+
+// Sensitivity reproduces the cross-pattern experiment: run the named
+// benchmarks' traces on the CG-generated network (the paper uses BT and FFT
+// at 16 nodes).
+func (c Config) Sensitivity(benchmarks []string, procs int) ([]SensitivityRow, error) {
+	cg, err := c.BuildDesign("CG", procs)
+	if err != nil {
+		return nil, fmt.Errorf("sensitivity: CG design: %v", err)
+	}
+	var rows []SensitivityRow
+	for _, name := range benchmarks {
+		pat, err := nas.Generate(name, procs, c.nasConfig())
+		if err != nil {
+			return nil, err
+		}
+		own, err := c.BuildDesign(name, procs)
+		if err != nil {
+			return nil, fmt.Errorf("sensitivity: %s design: %v", name, err)
+		}
+		ownRes, err := c.simulateGenerated(pat, own)
+		if err != nil {
+			return nil, fmt.Errorf("sensitivity: %s on own network: %v", name, err)
+		}
+		cgRes, err := c.simulateGenerated(pat, cg)
+		if err != nil {
+			return nil, fmt.Errorf("sensitivity: %s on CG network: %v", name, err)
+		}
+		rows = append(rows, SensitivityRow{
+			Benchmark:   name,
+			Procs:       procs,
+			OwnExec:     ownRes.ExecCycles,
+			OnCGExec:    cgRes.ExecCycles,
+			Degradation: float64(cgRes.ExecCycles)/float64(ownRes.ExecCycles) - 1,
+		})
+	}
+	return rows, nil
+}
+
+// RenderSensitivityTable formats the sensitivity rows.
+func RenderSensitivityTable(rows []SensitivityRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Section 4.2 sensitivity: benchmark traces on the CG-generated network\n")
+	fmt.Fprintf(&b, "%-6s %5s | %12s %12s | %11s\n", "bench", "procs", "own.exec", "onCG.exec", "degradation")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-6s %5d | %12d %12d | %10.1f%%\n",
+			r.Benchmark, r.Procs, r.OwnExec, r.OnCGExec, 100*r.Degradation)
+	}
+	return b.String()
+}

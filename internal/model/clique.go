@@ -1,0 +1,239 @@
+package model
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Clique is a set of flows that are all simultaneously in flight at some
+// instant — one potential contention period of Definition 5. Flows are kept
+// sorted and deduplicated; self-flows are excluded because they never touch
+// the network.
+type Clique []Flow
+
+// NewClique builds a canonical clique from arbitrary flows.
+func NewClique(flows ...Flow) Clique {
+	seen := make(map[Flow]bool, len(flows))
+	c := make(Clique, 0, len(flows))
+	for _, f := range flows {
+		if f.Src == f.Dst || seen[f] {
+			continue
+		}
+		seen[f] = true
+		c = append(c, f)
+	}
+	sort.Slice(c, func(i, j int) bool { return c[i].Less(c[j]) })
+	return c
+}
+
+// Contains reports whether the clique includes flow f. The clique must be
+// canonical (sorted), as produced by NewClique or ContentionPeriods.
+func (c Clique) Contains(f Flow) bool {
+	i := sort.Search(len(c), func(i int) bool { return !c[i].Less(f) })
+	return i < len(c) && c[i] == f
+}
+
+// SubsetOf reports whether every flow of c appears in d.
+func (c Clique) SubsetOf(d Clique) bool {
+	if len(c) > len(d) {
+		return false
+	}
+	i := 0
+	for _, f := range c {
+		for i < len(d) && d[i].Less(f) {
+			i++
+		}
+		if i >= len(d) || d[i] != f {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// Equal reports whether two canonical cliques hold the same flows.
+func (c Clique) Equal(d Clique) bool {
+	if len(c) != len(d) {
+		return false
+	}
+	for i := range c {
+		if c[i] != d[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical string key for map deduplication.
+func (c Clique) Key() string {
+	var b strings.Builder
+	for _, f := range c {
+		fmt.Fprintf(&b, "%d>%d;", f.Src, f.Dst)
+	}
+	return b.String()
+}
+
+// Intersect returns the flows common to the clique and the given flow set.
+func (c Clique) Intersect(flows map[Flow]bool) Clique {
+	var out Clique
+	for _, f := range c {
+		if flows[f] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// finishHeap is a min-heap of message indices keyed by finish time.
+type finishHeap struct {
+	idx    []int
+	finish func(int) float64
+}
+
+func (h *finishHeap) Len() int           { return len(h.idx) }
+func (h *finishHeap) Less(i, j int) bool { return h.finish(h.idx[i]) < h.finish(h.idx[j]) }
+func (h *finishHeap) Swap(i, j int)      { h.idx[i], h.idx[j] = h.idx[j], h.idx[i] }
+func (h *finishHeap) Push(x interface{}) { h.idx = append(h.idx, x.(int)) }
+func (h *finishHeap) Pop() interface{} {
+	n := len(h.idx)
+	v := h.idx[n-1]
+	h.idx = h.idx[:n-1]
+	return v
+}
+
+// ContentionPeriods extracts the communication clique set K (Definition 5):
+// the distinct sets of flows that are simultaneously in flight at some
+// instant. It sweeps the message start/finish event points; because message
+// intervals are inclusive, every maximal simultaneous set is realized at an
+// event point. Cliques are returned in order of first occurrence.
+func ContentionPeriods(p *Pattern) []Clique {
+	n := len(p.Messages)
+	if n == 0 {
+		return nil
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return p.Messages[order[a]].Start < p.Messages[order[b]].Start
+	})
+	// Event times: all distinct starts and finishes.
+	events := make([]float64, 0, 2*n)
+	for _, m := range p.Messages {
+		events = append(events, m.Start, m.Finish)
+	}
+	sort.Float64s(events)
+	events = dedupFloats(events)
+
+	active := &finishHeap{finish: func(i int) float64 { return p.Messages[i].Finish }}
+	next := 0 // next message in start order
+	seen := make(map[string]bool)
+	var out []Clique
+	for _, t := range events {
+		// Retire messages that finished strictly before t.
+		for active.Len() > 0 && p.Messages[active.idx[0]].Finish < t {
+			heap.Pop(active)
+		}
+		// Admit messages starting at or before t.
+		for next < n && p.Messages[order[next]].Start <= t {
+			mi := order[next]
+			next++
+			if p.Messages[mi].Finish >= t {
+				heap.Push(active, mi)
+			}
+		}
+		if active.Len() == 0 {
+			continue
+		}
+		flows := make([]Flow, 0, active.Len())
+		for _, mi := range active.idx {
+			flows = append(flows, p.Messages[mi].Flow())
+		}
+		c := NewClique(flows...)
+		if len(c) == 0 {
+			continue
+		}
+		if k := c.Key(); !seen[k] {
+			seen[k] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func dedupFloats(xs []float64) []float64 {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// MaxCliques reduces a clique set to the communication maximum clique set of
+// Section 2.2: any clique that is a subset of another is dominated and
+// removed (a network contention-free for the superset is contention-free for
+// the subset). Order of first occurrence is preserved.
+func MaxCliques(cliques []Clique) []Clique {
+	// Sort indices by descending size so each clique need only be checked
+	// against strictly larger (or equal-size earlier) ones.
+	idx := make([]int, len(cliques))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return len(cliques[idx[a]]) > len(cliques[idx[b]]) })
+	var kept []Clique
+	dominated := make([]bool, len(cliques))
+	for pos, i := range idx {
+		c := cliques[i]
+		dom := false
+		for _, j := range idx[:pos] {
+			if dominated[j] {
+				continue
+			}
+			if c.SubsetOf(cliques[j]) {
+				dom = true
+				break
+			}
+		}
+		if dom {
+			dominated[i] = true
+		} else {
+			kept = append(kept, nil) // placeholder; fill below in original order
+		}
+	}
+	kept = kept[:0]
+	for i, c := range cliques {
+		if !dominated[i] {
+			kept = append(kept, c)
+		}
+	}
+	return kept
+}
+
+// MaxCliqueSet is a convenience composition: contention periods reduced to
+// the maximum clique set.
+func MaxCliqueSet(p *Pattern) []Clique {
+	return MaxCliques(ContentionPeriods(p))
+}
+
+// CliqueFlows returns the union of flows over all cliques, sorted. This is
+// the flow universe the synthesizer routes.
+func CliqueFlows(cliques []Clique) []Flow {
+	seen := make(map[Flow]bool)
+	var out []Flow
+	for _, c := range cliques {
+		for _, f := range c {
+			if !seen[f] {
+				seen[f] = true
+				out = append(out, f)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}

@@ -1,0 +1,56 @@
+package nas
+
+import (
+	"repro/internal/model"
+	"repro/internal/trace"
+)
+
+// Figure1Pattern reconstructs the CG-16 communication pattern of the paper's
+// Figure 1 worked example, with processors renumbered 0-based (paper node k
+// is processor k-1). The paper fixes the following facts, all of which this
+// fixture reproduces exactly:
+//
+//   - The maximum clique set has three cliques (Section 3.3).
+//   - Contention period 3 is the 12-message transpose clique
+//     {(2,5),(5,2),(3,9),(9,3),(4,13),(13,4),(7,10),(10,7),(8,14),(14,8),
+//     (12,15),(15,12)} in the paper's 1-based labels.
+//   - Period 1 contains (9,10) and period 2 contains (9,11).
+//   - Cut 1 (nodes 1–8 | 9–16): eight messages cross, all from period 3,
+//     four per direction ⇒ fast coloring returns 4 links.
+//   - Cut 2 (nodes 1–9 | 10–16): ten messages cross — forward flows
+//     (9,10),(9,11),(8,14),(4,13),(7,10) — with at most three in any one
+//     period ⇒ fast coloring returns 3 links.
+//
+// Periods 1 and 2 are padded with row-reduction pairs that cross neither
+// cut, consistent with CG's reduction phases and the figure's geometry.
+func Figure1Pattern() *model.Pattern {
+	pairs := func(ps ...[2]int) []model.Flow {
+		var fs []model.Flow
+		for _, p := range ps {
+			// Convert the paper's 1-based labels and add both
+			// directions of each exchange.
+			a, b := p[0]-1, p[1]-1
+			fs = append(fs, model.F(a, b), model.F(b, a))
+		}
+		return fs
+	}
+	phases := []trace.PhaseSpec{
+		{ // Period 1: distance-1 row reductions; includes (9,10).
+			Label: "reduce.d1",
+			Flows: pairs([2]int{9, 10}, [2]int{1, 2}, [2]int{13, 14}),
+			Bytes: 2048,
+		},
+		{ // Period 2: distance-2 row reductions; includes (9,11).
+			Label: "reduce.d2",
+			Flows: pairs([2]int{9, 11}, [2]int{5, 6}, [2]int{15, 16}),
+			Bytes: 2048,
+		},
+		{ // Period 3: the full transpose exchange (12 messages).
+			Label: "transpose",
+			Flows: pairs([2]int{2, 5}, [2]int{3, 9}, [2]int{4, 13},
+				[2]int{7, 10}, [2]int{8, 14}, [2]int{12, 15}),
+			Bytes: 16384,
+		},
+	}
+	return trace.BuildPhased("Figure1.CG16", 16, phases)
+}

@@ -1,0 +1,61 @@
+package nas
+
+import (
+	"testing"
+)
+
+// Every phase of every generator must be a partial permutation: at most one
+// send and one receive per processor per synchronized call. This mirrors the
+// paper's contention periods (full or partial permutations, Section 2.2) and
+// is what makes contention-free mappings achievable at all — a processor
+// issuing two concurrent sends would contend on its own injection port
+// regardless of topology.
+func TestAllPhasesArePartialPermutations(t *testing.T) {
+	for _, name := range Names() {
+		small, large := PaperProcs(name)
+		for _, procs := range []int{small, large} {
+			p, err := Generate(name, procs, Config{})
+			if err != nil {
+				t.Fatalf("%s/%d: %v", name, procs, err)
+			}
+			for pi, ph := range p.Phases {
+				in := make(map[int]int)
+				out := make(map[int]int)
+				for _, mi := range ph.Messages {
+					m := p.Messages[mi]
+					out[m.Src]++
+					in[m.Dst]++
+				}
+				for proc, n := range out {
+					if n > 1 {
+						t.Fatalf("%s/%d phase %d (%s): proc %d sends %d concurrent messages",
+							name, procs, pi, ph.Label, proc, n)
+					}
+				}
+				for proc, n := range in {
+					if n > 1 {
+						t.Fatalf("%s/%d phase %d (%s): proc %d receives %d concurrent messages",
+							name, procs, pi, ph.Label, proc, n)
+					}
+				}
+			}
+		}
+	}
+}
+
+// The Figure 1 fixture must also consist of partial permutations.
+func TestFigure1PhasesArePartialPermutations(t *testing.T) {
+	p := Figure1Pattern()
+	for pi, ph := range p.Phases {
+		in := make(map[int]bool)
+		out := make(map[int]bool)
+		for _, mi := range ph.Messages {
+			m := p.Messages[mi]
+			if out[m.Src] || in[m.Dst] {
+				t.Fatalf("phase %d: processor reused", pi)
+			}
+			out[m.Src] = true
+			in[m.Dst] = true
+		}
+	}
+}

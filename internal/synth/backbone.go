@@ -1,0 +1,228 @@
+package synth
+
+import (
+	"sort"
+
+	"repro/internal/model"
+)
+
+// backboneReroute is a restructuring move used when marginal optimization is
+// plateau-locked on degree violations: it proposes an entirely new routing
+// over a degree-budgeted backbone graph and keeps it only if the global
+// objective (violations, links, load, hops) strictly improves.
+//
+// The backbone is chosen greedily by direct-traffic demand: each switch may
+// spend MaxDegree minus its processor count on links, the heaviest
+// demand pairs claim edges first, and remaining components are joined by the
+// cheapest feasible edges. All flows are then rerouted over backbone
+// shortest paths (which may be longer than the one-intermediate routes the
+// local optimizer produces — the final topology supports arbitrary source
+// routes).
+func (s *state) backboneReroute() bool {
+	n := len(s.swProcs)
+	if n < 3 {
+		return false
+	}
+	budget := make([]int, n)
+	for sw := range s.swProcs {
+		b := s.opt.MaxDegree - len(s.swProcs[sw])
+		if b < 0 {
+			b = 0
+		}
+		budget[sw] = b
+	}
+	// Direct demand between home pairs.
+	demand := make(map[[2]int]int)
+	for _, f := range s.flows {
+		a, b := s.home[f.Src], s.home[f.Dst]
+		if a != b {
+			demand[pairKey(a, b)]++
+		}
+	}
+	type edge struct {
+		pair [2]int
+		w    int
+	}
+	edges := make([]edge, 0, len(demand))
+	for p, w := range demand {
+		edges = append(edges, edge{pair: p, w: w})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].w != edges[j].w {
+			return edges[i].w > edges[j].w
+		}
+		return edges[i].pair[0] < edges[j].pair[0] ||
+			(edges[i].pair[0] == edges[j].pair[0] && edges[i].pair[1] < edges[j].pair[1])
+	})
+	deg := make([]int, n)
+	adj := make([][]int, n)
+	addEdge := func(a, b int) {
+		deg[a]++
+		deg[b]++
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+	}
+	haveEdge := func(a, b int) bool {
+		for _, x := range adj[a] {
+			if x == b {
+				return true
+			}
+		}
+		return false
+	}
+	for _, e := range edges {
+		a, b := e.pair[0], e.pair[1]
+		if deg[a] < budget[a] && deg[b] < budget[b] {
+			addEdge(a, b)
+		}
+	}
+	// Join remaining components, preferring endpoints with spare budget.
+	for {
+		comp := components(adj, n)
+		if maxComp(comp) == 0 {
+			break
+		}
+		bestA, bestB, bestCost := -1, -1, 1<<30
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				if comp[a] == comp[b] || haveEdge(a, b) {
+					continue
+				}
+				cost := 0
+				if deg[a] >= budget[a] {
+					cost += 1 + deg[a] - budget[a]
+				}
+				if deg[b] >= budget[b] {
+					cost += 1 + deg[b] - budget[b]
+				}
+				if cost < bestCost {
+					bestA, bestB, bestCost = a, b, cost
+				}
+			}
+		}
+		if bestA == -1 {
+			return false // cannot connect; abandon the proposal
+		}
+		addEdge(bestA, bestB)
+	}
+
+	// Snapshot and reroute everything over backbone shortest paths.
+	snapshot := make(map[model.Flow][]int, len(s.routes))
+	for f, r := range s.routes {
+		snapshot[f] = r
+	}
+	before := s.globalCost()
+	ok := true
+	for _, f := range s.flows {
+		a, b := s.home[f.Src], s.home[f.Dst]
+		if a == b {
+			s.setRoute(f, []int{a})
+			continue
+		}
+		path := bfsPath(adj, a, b)
+		if path == nil {
+			ok = false
+			break
+		}
+		s.setRoute(f, path)
+	}
+	if ok && s.globalCost() < before {
+		s.stats.Reroutes += len(s.flows)
+		return true
+	}
+	for f, r := range snapshot {
+		s.setRoute(f, r)
+	}
+	return false
+}
+
+func components(adj [][]int, n int) []int {
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	nc := 0
+	for start := 0; start < n; start++ {
+		if comp[start] != -1 {
+			continue
+		}
+		stack := []int{start}
+		comp[start] = nc
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, u := range adj[v] {
+				if comp[u] == -1 {
+					comp[u] = nc
+					stack = append(stack, u)
+				}
+			}
+		}
+		nc++
+	}
+	return comp
+}
+
+func maxComp(comp []int) int {
+	m := 0
+	for _, c := range comp {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// bfsPath returns the shortest path from a to b over adj (lowest-ID ties).
+func bfsPath(adj [][]int, a, b int) []int {
+	n := len(adj)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[a] = a
+	queue := []int{a}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if v == b {
+			break
+		}
+		nbs := append([]int(nil), adj[v]...)
+		sort.Ints(nbs)
+		for _, u := range nbs {
+			if parent[u] == -1 {
+				parent[u] = v
+				queue = append(queue, u)
+			}
+		}
+	}
+	if parent[b] == -1 {
+		return nil
+	}
+	var rev []int
+	for v := b; v != a; v = parent[v] {
+		rev = append(rev, v)
+	}
+	rev = append(rev, a)
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// globalCost evaluates the full weighted objective over every pipe and
+// switch.
+func (s *state) globalCost() int {
+	pairs := make(map[[2]int]bool)
+	for key, set := range s.pipes {
+		if len(set) > 0 {
+			pairs[pairKey(key[0], key[1])] = true
+		}
+	}
+	switches := make(map[int]bool, len(s.swProcs))
+	for sw := range s.swProcs {
+		switches[sw] = true
+	}
+	return s.localCost(pairs, switches)
+}

@@ -1,0 +1,34 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/nas"
+)
+
+func BenchmarkSynthesizeFigure1(b *testing.B) {
+	pat := nas.Figure1Pattern()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Synthesize(pat, Options{Seed: 1, Restarts: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.ContentionFree {
+			b.Fatal("not contention-free")
+		}
+	}
+}
+
+func BenchmarkSynthesizeCG16(b *testing.B) {
+	pat, err := nas.Generate("CG", 16, nas.Config{Iterations: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Synthesize(pat, Options{Seed: 1, Restarts: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package synth
+
+import "repro/internal/model"
+
+// bestRoute implements the Appendix's Best_Route procedure, generalized:
+// every flow whose current route touches one of the `touch` switches is
+// offered its direct path and one-intermediate indirect paths through each
+// switch in `via`. A nil via selects, per flow, the switches that already
+// exchange traffic with either endpoint — rerouting through anything else
+// would create two pipes to save one and can never help. When the
+// reverse flow exists and mirrors the forward route, the pair is rerouted
+// together — the paper's exchanges are symmetric (e.g. Figure 5(e) redirects
+// (4,13) and (13,4) jointly), and moving only one direction cannot free a
+// full-duplex link. Improving alternatives — fewer constraint violations,
+// then fewer estimated links, then lower congestion load, then fewer hops —
+// are committed. Passes repeat until no route improves.
+func (s *state) bestRoute(touch, via []int) {
+	for pass := 0; pass < 3; pass++ {
+		improved := false
+		for _, f := range s.flows {
+			cur := s.routes[f]
+			touched := false
+			for _, sw := range touch {
+				if routeTouches(cur, sw) {
+					touched = true
+					break
+				}
+			}
+			if !touched {
+				continue
+			}
+			a, b := s.home[f.Src], s.home[f.Dst]
+			if a == b {
+				continue
+			}
+			// Pair with the mirrored reverse flow when present.
+			group := []model.Flow{f}
+			if rev := f.Reverse(); rev != f {
+				if rr, ok := s.routes[rev]; ok && equalRoute(rr, reversed(cur)) && f.Less(rev) {
+					group = append(group, rev)
+				}
+			}
+			vias := via
+			if vias == nil {
+				vias = s.trafficNeighbors(a, b)
+			}
+			candidates := [][]int{{a, b}}
+			for _, m := range vias {
+				if m != a && m != b {
+					candidates = append(candidates, []int{a, m, b})
+				}
+			}
+			bestDelta := 0
+			var best []int
+			for _, cand := range candidates {
+				if equalRoute(cand, cur) {
+					continue
+				}
+				if delta := s.groupRouteDelta(group, cand); delta < bestDelta {
+					bestDelta = delta
+					best = cand
+				}
+			}
+			if best != nil {
+				s.applyGroupRoute(group, best)
+				s.stats.Reroutes += len(group)
+				improved = true
+			}
+		}
+		if !improved {
+			return
+		}
+	}
+}
+
+// trafficNeighbors lists switches that currently exchange traffic with a or
+// b, in ascending order.
+func (s *state) trafficNeighbors(a, b int) []int {
+	var out []int
+	for m := range s.swProcs {
+		if m == a || m == b {
+			continue
+		}
+		if len(s.pipes[[2]int{a, m}]) > 0 || len(s.pipes[[2]int{m, a}]) > 0 ||
+			len(s.pipes[[2]int{b, m}]) > 0 || len(s.pipes[[2]int{m, b}]) > 0 {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// reversed returns the route walked backwards.
+func reversed(r []int) []int {
+	out := make([]int, len(r))
+	for i, x := range r {
+		out[len(r)-1-i] = x
+	}
+	return out
+}
+
+// applyGroupRoute routes the first flow of the group along cand and any
+// paired reverse flow along the mirror of cand.
+func (s *state) applyGroupRoute(group []model.Flow, cand []int) {
+	s.setRoute(group[0], cand)
+	if len(group) == 2 {
+		s.setRoute(group[1], reversed(cand))
+	}
+}
+
+// groupRouteDelta measures the cost change of rerouting a flow (and its
+// mirrored reverse, if grouped) onto cand, restoring state before returning.
+func (s *state) groupRouteDelta(group []model.Flow, cand []int) int {
+	olds := make([][]int, len(group))
+	affected := make(map[[2]int]bool)
+	for gi, f := range group {
+		olds[gi] = s.routes[f]
+		for i := 1; i < len(olds[gi]); i++ {
+			affected[pairKey(olds[gi][i-1], olds[gi][i])] = true
+		}
+	}
+	for i := 1; i < len(cand); i++ {
+		affected[pairKey(cand[i-1], cand[i])] = true
+	}
+	sws := switchesOfPairs(affected)
+	before := s.localCost(affected, sws)
+	s.applyGroupRoute(group, cand)
+	after := s.localCost(affected, sws)
+	for gi, f := range group {
+		s.setRoute(f, olds[gi])
+	}
+	return after - before
+}
+
+// eliminatePipes targets degree violations directly: for every switch over
+// its degree budget, try to empty one of its pipes entirely by rerouting
+// every flow that crosses the pipe — endpoint flows and through-flows alike
+// — onto a direct path or through a common intermediate. Returns true if
+// any elimination was committed.
+func (s *state) eliminatePipes() bool {
+	changed := false
+	for sw := range s.swProcs {
+		if s.estDegree(sw) <= s.opt.MaxDegree {
+			continue
+		}
+		for other := range s.swProcs {
+			if other == sw {
+				continue
+			}
+			var flows []model.Flow
+			for f := range s.pipes[[2]int{sw, other}] {
+				flows = append(flows, f)
+			}
+			for f := range s.pipes[[2]int{other, sw}] {
+				if !s.pipes[[2]int{sw, other}][f] {
+					flows = append(flows, f)
+				}
+			}
+			if len(flows) == 0 {
+				continue
+			}
+			sortFlows(flows)
+			for m := -1; m < len(s.swProcs); m++ {
+				if m == sw || m == other {
+					continue
+				}
+				if s.tryPipeElimination(flows, sw, other, m) {
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// tryPipeElimination reroutes every flow crossing pipe (a,b): directly when
+// the direct path avoids the pipe, otherwise via intermediate m (m == -1
+// allows only direct replacements). The batch is kept only if the weighted
+// objective improves.
+func (s *state) tryPipeElimination(flows []model.Flow, a, b, m int) bool {
+	olds := make([][]int, len(flows))
+	news := make([][]int, len(flows))
+	for i, f := range flows {
+		olds[i] = s.routes[f]
+		ha, hb := s.home[f.Src], s.home[f.Dst]
+		switch {
+		case pairKey(ha, hb) != pairKey(a, b):
+			news[i] = []int{ha, hb} // direct path avoids the pipe
+		case m >= 0 && m != ha && m != hb:
+			news[i] = []int{ha, m, hb}
+		default:
+			return false // this flow cannot leave the pipe
+		}
+	}
+	affected := make(map[[2]int]bool)
+	for i := range flows {
+		for _, r := range [][]int{olds[i], news[i]} {
+			for h := 1; h < len(r); h++ {
+				affected[pairKey(r[h-1], r[h])] = true
+			}
+		}
+	}
+	sws := switchesOfPairs(affected)
+	before := s.localCost(affected, sws)
+	for i, f := range flows {
+		s.setRoute(f, news[i])
+	}
+	after := s.localCost(affected, sws)
+	if after < before {
+		s.stats.Reroutes += len(flows)
+		return true
+	}
+	for i, f := range flows {
+		s.setRoute(f, olds[i])
+	}
+	return false
+}
+
+func sortFlows(fs []model.Flow) {
+	for i := 1; i < len(fs); i++ {
+		for j := i; j > 0 && fs[j].Less(fs[j-1]); j-- {
+			fs[j], fs[j-1] = fs[j-1], fs[j]
+		}
+	}
+}
+
+func equalRoute(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,154 @@
+package synth
+
+// Cost model. The objective is lexicographic — design-constraint violations,
+// then link count, then congestion load, then hops — folded into one integer
+// with well-separated weights:
+//
+//   - penalty: units of degree/processor-count excess. Dominant, so the
+//     search never trades a violation for fewer links.
+//   - links: the estimated pipe widths (Fast_Color), the paper's objective.
+//   - quad: Σ over pipe directions and cliques of count², a smooth surrogate
+//     for the width max. Removing one same-period flow from a loaded pipe
+//     always lowers quad even when it cannot yet lower the width, giving
+//     hill-climbing a gradient across the width plateaus.
+//   - hops: total route length, a weak preference for short paths.
+const (
+	costHopWeight     = 1
+	costQuadWeight    = 1 << 4
+	costLinkWeight    = 1 << 16
+	costPenaltyWeight = 1 << 28
+)
+
+// dirStats computes, for one pipe direction, the Fast_Color width bound and
+// the quadratic clique load.
+func (s *state) dirStats(from, to int) (width, quad int) {
+	set := s.pipes[[2]int{from, to}]
+	if len(set) == 0 {
+		return 0, 0
+	}
+	var touched []int
+	for f := range set {
+		for _, ci := range s.flowCliques[f] {
+			s.cliqueCount[ci]++
+			if s.cliqueCount[ci] == 1 {
+				touched = append(touched, ci)
+			}
+			if s.cliqueCount[ci] > width {
+				width = s.cliqueCount[ci]
+			}
+		}
+	}
+	for _, ci := range touched {
+		quad += s.cliqueCount[ci] * s.cliqueCount[ci]
+		s.cliqueCount[ci] = 0
+	}
+	return width, quad
+}
+
+// fastColorDir applies the Fast_Color bound to one pipe direction.
+func (s *state) fastColorDir(from, to int) int {
+	w, _ := s.dirStats(from, to)
+	return w
+}
+
+// estWidth estimates a pipe's link count: the max of the two directions'
+// fast-color bounds (full-duplex links, Section 3.1). Results are memoized
+// until a route touching the pipe changes.
+func (s *state) estWidth(a, b int) int {
+	key := pairKey(a, b)
+	if w, ok := s.widthCache[key]; ok {
+		return w
+	}
+	w := s.fastColorDir(a, b)
+	if bk := s.fastColorDir(b, a); bk > w {
+		w = bk
+	}
+	s.widthCache[key] = w
+	return w
+}
+
+// estDegree estimates the port count of a switch under current routing.
+func (s *state) estDegree(sw int) int {
+	d := len(s.swProcs[sw])
+	for t := range s.swProcs {
+		if t != sw {
+			d += s.estWidth(sw, t)
+		}
+	}
+	return d
+}
+
+// penaltyOf sums constraint violations over a set of switches: degree excess
+// plus processor-count excess.
+func (s *state) penaltyOf(switches map[int]bool) int {
+	total := 0
+	for sw := range switches {
+		if d := s.estDegree(sw); d > s.opt.MaxDegree {
+			total += d - s.opt.MaxDegree
+		}
+		if n := len(s.swProcs[sw]); n > s.opt.MaxProcsPerSwitch {
+			total += n - s.opt.MaxProcsPerSwitch
+		}
+	}
+	return total
+}
+
+// switchesOfPairs collects the endpoints of a pipe set plus any extras.
+func switchesOfPairs(pairs map[[2]int]bool, extra ...int) map[int]bool {
+	out := make(map[int]bool, 2*len(pairs)+len(extra))
+	for p := range pairs {
+		out[p[0]] = true
+		out[p[1]] = true
+	}
+	for _, sw := range extra {
+		out[sw] = true
+	}
+	return out
+}
+
+// localCost evaluates the weighted objective restricted to the given pipes
+// and switches. Comparing localCost before and after a tentative change
+// yields the global cost delta, because contributions outside the affected
+// sets are unchanged.
+func (s *state) localCost(pairs map[[2]int]bool, switches map[int]bool) int {
+	links, quad := 0, 0
+	for p := range pairs {
+		wf, qf := s.dirStats(p[0], p[1])
+		wb, qb := s.dirStats(p[1], p[0])
+		if wb > wf {
+			wf = wb
+		}
+		links += wf
+		quad += qf + qb
+	}
+	return s.penaltyOf(switches)*costPenaltyWeight +
+		links*costLinkWeight +
+		quad*costQuadWeight +
+		s.totalHops*costHopWeight
+}
+
+// totalLinks sums estimated widths over all pipes with traffic.
+func (s *state) totalLinks() int {
+	seen := make(map[[2]int]bool)
+	total := 0
+	for key, set := range s.pipes {
+		if len(set) == 0 {
+			continue
+		}
+		k := pairKey(key[0], key[1])
+		if !seen[k] {
+			seen[k] = true
+			total += s.estWidth(k[0], k[1])
+		}
+	}
+	return total
+}
+
+// violates reports whether a switch breaks the design constraints under the
+// current width estimates.
+func (s *state) violates(sw int) bool {
+	if len(s.swProcs[sw]) > s.opt.MaxProcsPerSwitch {
+		return true
+	}
+	return s.estDegree(sw) > s.opt.MaxDegree
+}

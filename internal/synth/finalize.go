@@ -1,0 +1,336 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/coloring"
+	"repro/internal/model"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// Result is the output of a synthesis run.
+type Result struct {
+	// Net is the generated topology.
+	Net *topology.Network
+	// Table holds the source routes with per-hop link assignments.
+	Table *routing.Table
+	// Cliques is the maximum clique set the synthesis worked from.
+	Cliques []model.Clique
+	// ConstraintsMet reports whether every switch satisfies the design
+	// constraints after formal coloring.
+	ConstraintsMet bool
+	// ContentionFree reports Theorem 1's verdict for the ideal pattern:
+	// C ∩ R = ∅.
+	ContentionFree bool
+	// Witnesses lists any C ∩ R violations (empty when ContentionFree).
+	Witnesses []model.FlowPair
+	// ExactColoring reports whether every pipe was colored provably
+	// optimally.
+	ExactColoring bool
+	// Stats summarizes the search effort.
+	Stats Stats
+}
+
+// dirAssignment records the link assignment for one pipe direction.
+type dirAssignment struct {
+	colors int
+	assign coloring.Assignment
+}
+
+// finalize runs step 3 of the main algorithm: formal coloring of every
+// pipe's two conflict graphs, yielding exact widths and per-flow link
+// indices, then assembles the topology and routing table. It returns the
+// real (post-coloring) degree of each internal switch so the outer loop can
+// keep partitioning if estimates were optimistic.
+func (s *state) finalize(name string) (*topology.Network, *routing.Table, []int, bool, error) {
+	// Live switches: those holding processors or carrying any flow.
+	live := make([]bool, len(s.swProcs))
+	for sw, ps := range s.swProcs {
+		if len(ps) > 0 {
+			live[sw] = true
+		}
+	}
+	for _, r := range s.routes {
+		for _, sw := range r {
+			live[sw] = true
+		}
+	}
+	remap := make([]topology.SwitchID, len(s.swProcs))
+	net := topology.New(name, s.procs)
+	for sw := range s.swProcs {
+		if !live[sw] {
+			remap[sw] = -1
+			continue
+		}
+		remap[sw] = net.AddSwitch()
+	}
+	for p := 0; p < s.procs; p++ {
+		net.AttachProc(p, remap[s.home[p]])
+	}
+
+	// Formal coloring per pipe direction.
+	allExact := true
+	assignments := make(map[[2]int]dirAssignment) // ordered (from,to)
+	widths := make(map[[2]int]int)                // unordered pair
+	for key, set := range s.pipes {
+		if len(set) == 0 {
+			continue
+		}
+		flows := make([]model.Flow, 0, len(set))
+		for f := range set {
+			flows = append(flows, f)
+		}
+		sort.Slice(flows, func(i, j int) bool { return flows[i].Less(flows[j]) })
+		var k int
+		var assign coloring.Assignment
+		if s.opt.GreedyFinalColoring {
+			g := coloring.BuildConflictGraph(flows, s.contention)
+			var raw []int
+			k, raw = g.Greedy()
+			assign = make(coloring.Assignment, len(flows))
+			for i, f := range g.Flows {
+				assign[f] = raw[i]
+			}
+		} else {
+			var exact bool
+			k, assign, exact = coloring.ColorPipeDirection(flows, s.contention)
+			allExact = allExact && exact
+		}
+		assignments[key] = dirAssignment{colors: k, assign: assign}
+		pk := pairKey(key[0], key[1])
+		if k > widths[pk] {
+			widths[pk] = k
+		}
+	}
+	// Deterministic pipe order: downstream consumers (serialization, the
+	// simulator's channel numbering and arbitration) iterate net.Pipes.
+	pairs := make([][2]int, 0, len(widths))
+	for pk := range widths {
+		pairs = append(pairs, pk)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	for _, pk := range pairs {
+		net.SetPipe(remap[pk[0]], remap[pk[1]], widths[pk])
+	}
+
+	// Connectivity repair: Definition 1 requires a strongly connected
+	// system. Patterns whose flows do not span all switches leave
+	// islands; join them with unit-width pipes attached at the least-
+	// loaded switches.
+	s.stats.Repairs += repairConnectivity(net)
+
+	// Real degrees in the internal switch ID space (for the outer loop),
+	// including exact pipe widths and any repair pipes.
+	realDeg := make([]int, len(s.swProcs))
+	for sw := range s.swProcs {
+		if live[sw] {
+			realDeg[sw] = net.Degree(remap[sw])
+		}
+	}
+
+	// Routing table with per-hop link assignments.
+	table := routing.NewTable(net)
+	for _, f := range s.flows {
+		r := s.routes[f]
+		route := routing.Route{Switches: make([]topology.SwitchID, len(r))}
+		for i, sw := range r {
+			route.Switches[i] = remap[sw]
+		}
+		for i := 1; i < len(r); i++ {
+			da, ok := assignments[[2]int{r[i-1], r[i]}]
+			if !ok {
+				return nil, nil, nil, false, fmt.Errorf("synth: flow %v hop %d has no link assignment", f, i-1)
+			}
+			route.Links = append(route.Links, da.assign[f])
+		}
+		table.Routes[f] = route
+	}
+	if err := net.Validate(); err != nil {
+		return nil, nil, nil, false, fmt.Errorf("synth: generated network invalid: %v", err)
+	}
+	if err := table.Validate(); err != nil {
+		return nil, nil, nil, false, fmt.Errorf("synth: generated routes invalid: %v", err)
+	}
+	return net, table, realDeg, allExact, nil
+}
+
+// repairConnectivity links disconnected components of the switch graph with
+// unit pipes (chaining component representatives in ID order). Returns the
+// number of pipes added.
+func repairConnectivity(net *topology.Network) int {
+	n := net.NumSwitches()
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	nc := 0
+	for start := 0; start < n; start++ {
+		if comp[start] != -1 {
+			continue
+		}
+		queue := []topology.SwitchID{topology.SwitchID(start)}
+		comp[start] = nc
+		for len(queue) > 0 {
+			sw := queue[0]
+			queue = queue[1:]
+			for _, nb := range net.Neighbors(sw) {
+				if comp[nb] == -1 {
+					comp[nb] = nc
+					queue = append(queue, nb)
+				}
+			}
+		}
+		nc++
+	}
+	if nc <= 1 {
+		return 0
+	}
+	// Join each component to the next, attaching at the least-loaded
+	// switch of each to avoid manufacturing degree violations.
+	minDegSwitch := func(c int) topology.SwitchID {
+		best := topology.SwitchID(-1)
+		bestDeg := 0
+		for sw := 0; sw < n; sw++ {
+			if comp[sw] != c {
+				continue
+			}
+			d := net.Degree(topology.SwitchID(sw))
+			if best == -1 || d < bestDeg {
+				best, bestDeg = topology.SwitchID(sw), d
+			}
+		}
+		return best
+	}
+	added := 0
+	for c := 1; c < nc; c++ {
+		net.SetPipe(minDegSwitch(c-1), minDegSwitch(c), 1)
+		added++
+	}
+	return added
+}
+
+// Synthesize runs the full design methodology on a pattern and returns the
+// best result over the configured restarts (fewest links, then fewest
+// switches, then fewest total hops; runs meeting the constraints and
+// verifying contention-free always beat runs that do not).
+func Synthesize(p *model.Pattern, opt Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("synth: %v", err)
+	}
+	opt = opt.normalized()
+	cliques := model.MaxCliqueSet(p)
+	var best *Result
+	run := 0
+	// After the configured restarts, keep drawing fresh seeds (up to
+	// three times as many) while no run has met the design constraints —
+	// random bisection quality varies and a failed run is much worse
+	// than a slightly slower one.
+	for run < opt.Restarts || (!best.ConstraintsMet && run < 4*opt.Restarts) {
+		res, err := synthesizeOnce(p, cliques, opt, opt.Seed+int64(run)*7919)
+		if err != nil {
+			return nil, err
+		}
+		run++
+		if better(res, best) {
+			best = res
+		}
+	}
+	best.Stats.RestartsRun = run
+	return best, nil
+}
+
+func better(a, b *Result) bool {
+	if b == nil {
+		return true
+	}
+	if a.ConstraintsMet != b.ConstraintsMet {
+		return a.ConstraintsMet
+	}
+	if a.ContentionFree != b.ContentionFree {
+		return a.ContentionFree
+	}
+	// Combined resource cost mirrors the merge objective: a switch is
+	// priced at two links.
+	ra := a.Net.TotalLinks() + 2*a.Net.NumSwitches()
+	rb := b.Net.TotalLinks() + 2*b.Net.NumSwitches()
+	if ra != rb {
+		return ra < rb
+	}
+	return totalHops(a.Table) < totalHops(b.Table)
+}
+
+func totalHops(t *routing.Table) int {
+	h := 0
+	for _, r := range t.Routes {
+		h += r.Hops()
+	}
+	return h
+}
+
+func synthesizeOnce(p *model.Pattern, cliques []model.Clique, opt Options, seed int64) (*Result, error) {
+	stats := &Stats{}
+	s := newState(p, cliques, opt, seed, stats)
+	var (
+		net     *topology.Network
+		table   *routing.Table
+		exact   bool
+		met     bool
+		realDeg []int
+		err     error
+	)
+	for round := 0; round < opt.MaxRounds; round++ {
+		stats.Rounds = round + 1
+		estOK := s.partition()
+		net, table, realDeg, exact, err = s.finalize(fmt.Sprintf("generated.%s", p.Name))
+		if err != nil {
+			return nil, err
+		}
+		met = true
+		var forced []int
+		for sw := range s.swProcs {
+			if len(s.swProcs[sw]) > opt.MaxProcsPerSwitch || realDeg[sw] > opt.MaxDegree {
+				met = false
+				if len(s.swProcs[sw]) >= 2 {
+					forced = append(forced, sw)
+				}
+			}
+		}
+		if met || len(forced) == 0 || !estOK {
+			if !estOK {
+				met = false
+			}
+			break
+		}
+		// Estimates were optimistic: force-split every real violator
+		// and continue.
+		for _, i := range forced {
+			if len(s.swProcs[i]) < 2 {
+				continue
+			}
+			j := s.split(i)
+			if !opt.DisableBestRoute {
+				s.bestRoute([]int{i, j}, []int{i, j})
+			}
+			s.optimizeMoves(i, j)
+		}
+	}
+	res := &Result{
+		Net:            net,
+		Table:          table,
+		Cliques:        cliques,
+		ConstraintsMet: met,
+		ExactColoring:  exact,
+		Stats:          *stats,
+	}
+	free, wit := model.ContentionFree(model.ContentionSetFromCliques(cliques), table.ConflictSet())
+	res.ContentionFree = free
+	res.Witnesses = wit
+	return res, nil
+}

@@ -1,0 +1,106 @@
+package synth
+
+import "repro/internal/model"
+
+// costSwitchWeight prices one switch relative to links when deciding whether
+// to consolidate two switches. The paper's floorplan model gives a 5-port
+// switch roughly the area of a couple of tile-crossing links, and its
+// objective minimizes "the required number of links and switches".
+const costSwitchWeight = 2 * costLinkWeight
+
+// liveSwitches counts switches that hold processors or carry traffic.
+func (s *state) liveSwitches() int {
+	live := make([]bool, len(s.swProcs))
+	for sw, ps := range s.swProcs {
+		if len(ps) > 0 {
+			live[sw] = true
+		}
+	}
+	for key, set := range s.pipes {
+		if len(set) > 0 {
+			live[key[0]] = true
+			live[key[1]] = true
+		}
+	}
+	n := 0
+	for _, l := range live {
+		if l {
+			n++
+		}
+	}
+	return n
+}
+
+// consolidationScore is the merge objective: the global weighted cost plus a
+// price per live switch.
+func (s *state) consolidationScore() int {
+	return s.globalCost() + s.liveSwitches()*costSwitchWeight
+}
+
+// stateSnapshot captures processor placement and all routes for rollback.
+type stateSnapshot struct {
+	home   []int
+	routes map[model.Flow][]int
+}
+
+func (s *state) snapshot() stateSnapshot {
+	snap := stateSnapshot{
+		home:   append([]int(nil), s.home...),
+		routes: make(map[model.Flow][]int, len(s.routes)),
+	}
+	for f, r := range s.routes {
+		snap.routes[f] = r
+	}
+	return snap
+}
+
+func (s *state) restore(snap stateSnapshot) {
+	for p, sw := range snap.home {
+		if s.home[p] != sw {
+			s.reattachNoReroute(p, sw)
+		}
+	}
+	for f, r := range snap.routes {
+		s.setRoute(f, r)
+	}
+}
+
+// mergeRefine tries to consolidate switches once the constraints are met:
+// for every ordered pair, move all of one switch's processors onto the other
+// (rerouting their flows directly, then locally re-optimizing routes) and
+// keep the merge if the consolidation score strictly improves without
+// introducing violations. This is what turns a legal but fragmented
+// all-singleton solution into the paper's multi-processor switches.
+func (s *state) mergeRefine() bool {
+	changed := false
+	for a := range s.swProcs {
+		if len(s.swProcs[a]) == 0 {
+			continue
+		}
+		for b := range s.swProcs {
+			if a == b || len(s.swProcs[b]) == 0 {
+				continue
+			}
+			if len(s.swProcs[a])+len(s.swProcs[b]) > s.opt.MaxProcsPerSwitch {
+				continue
+			}
+			snap := s.snapshot()
+			before := s.consolidationScore()
+			procs := append([]int(nil), s.swProcs[b]...)
+			for _, p := range procs {
+				s.reattach(p, a)
+			}
+			if !s.opt.DisableBestRoute {
+				s.bestRoute([]int{a}, nil)
+				s.eliminatePipes()
+			}
+			if !s.anyViolation() && s.consolidationScore() < before {
+				s.stats.GlobalMoves += len(procs)
+				changed = true
+			} else {
+				s.restore(snap)
+			}
+		}
+	}
+	return changed
+}

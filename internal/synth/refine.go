@@ -1,0 +1,139 @@
+package synth
+
+import "repro/internal/model"
+
+// rerouteAnneal is the escape hatch for plateau-locked violations: while
+// some switch still exceeds its degree budget, randomly chosen exchange
+// groups are rerouted through random intermediates, accepting any
+// non-worsening move (and occasional worsening ones early in the schedule).
+// Plateau moves reshuffle which pipes exist without changing the objective,
+// which is exactly what is needed when reducing one switch's degree requires
+// first rearranging its neighbours'. Bounded and fully deterministic for a
+// given seed.
+func (s *state) rerouteAnneal(budget int) {
+	if s.opt.DisableBestRoute {
+		return
+	}
+	for step := 0; step < budget; step++ {
+		if !s.anyViolation() {
+			return
+		}
+		f := s.flows[s.rng.Intn(len(s.flows))]
+		a, b := s.home[f.Src], s.home[f.Dst]
+		if a == b {
+			continue
+		}
+		group := []model.Flow{f}
+		if rev := f.Reverse(); rev != f {
+			if rr, ok := s.routes[rev]; ok && equalRoute(rr, reversed(s.routes[f])) {
+				group = append(group, rev)
+			}
+		}
+		m := s.rng.Intn(len(s.swProcs))
+		var cand []int
+		if m == a || m == b {
+			cand = []int{a, b} // fall back to the direct path
+		} else {
+			cand = []int{a, m, b}
+		}
+		if equalRoute(cand, s.routes[f]) {
+			continue
+		}
+		delta := s.groupRouteDelta(group, cand)
+		// Accept improvements and plateaus; accept small regressions
+		// in the first quarter of the budget.
+		limit := 0
+		if step < budget/4 {
+			limit = costQuadWeight * 4
+		}
+		if delta <= limit {
+			s.applyGroupRoute(group, cand)
+			s.stats.Reroutes += len(group)
+			if delta < 0 {
+				s.stats.MovesCommitted++
+			}
+		}
+	}
+}
+
+// swapProcs exchanges the homes of two processors, rerouting both proc's
+// flows directly, and reports the cost delta with an undo closure.
+func (s *state) trySwap(p, q int) (int, func()) {
+	sp, sq := s.home[p], s.home[q]
+	var undos []routeUndo
+	affected := make(map[[2]int]bool)
+	record := func(proc int) {
+		for _, f := range s.procFlows[proc] {
+			r := s.routes[f]
+			undos = append(undos, routeUndo{flow: f, route: r})
+			for i := 1; i < len(r); i++ {
+				affected[pairKey(r[i-1], r[i])] = true
+			}
+		}
+	}
+	record(p)
+	record(q)
+	s.reattachNoReroute(p, sq)
+	s.reattachNoReroute(q, sp)
+	redirect := func(proc int) {
+		for _, f := range s.procFlows[proc] {
+			s.setRoute(f, s.directRoute(f))
+		}
+	}
+	redirect(p)
+	redirect(q)
+	for _, proc := range []int{p, q} {
+		for _, f := range s.procFlows[proc] {
+			r := s.routes[f]
+			for i := 1; i < len(r); i++ {
+				affected[pairKey(r[i-1], r[i])] = true
+			}
+		}
+	}
+	sws := switchesOfPairs(affected, sp, sq)
+	after := s.localCost(affected, sws)
+	undo := func() {
+		s.reattachNoReroute(p, sp)
+		s.reattachNoReroute(q, sq)
+		seen := make(map[model.Flow]bool)
+		for i := len(undos) - 1; i >= 0; i-- {
+			u := undos[i]
+			if seen[u.flow] {
+				continue
+			}
+			seen[u.flow] = true
+			s.setRoute(u.flow, u.route)
+		}
+	}
+	undo()
+	before := s.localCost(affected, sws)
+	// Reapply.
+	s.reattachNoReroute(p, sq)
+	s.reattachNoReroute(q, sp)
+	redirect(p)
+	redirect(q)
+	s.stats.MovesEvaluated++
+	return after - before, undo
+}
+
+// swapRefine looks for improving processor exchanges between any two
+// switches — relocations alone cannot explore placements where every switch
+// is at its processor or degree budget.
+func (s *state) swapRefine() bool {
+	changed := false
+	for p := 0; p < s.procs; p++ {
+		for q := p + 1; q < s.procs; q++ {
+			if s.home[p] == s.home[q] {
+				continue
+			}
+			delta, undo := s.trySwap(p, q)
+			if delta < 0 {
+				s.stats.MovesCommitted++
+				changed = true
+			} else {
+				undo()
+			}
+		}
+	}
+	return changed
+}

@@ -1,0 +1,36 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/nas"
+)
+
+// TestScalability32 exercises the methodology at the "high tens of cores"
+// scale the paper projects (Section 1). A single restart keeps the test
+// tractable; the result must still satisfy the constraints and Theorem 1.
+func TestScalability32(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping 32-processor synthesis in -short mode")
+	}
+	pat, err := nas.Generate("CG", 32, nas.Config{Iterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Synthesize(pat, Options{Seed: 1, Restarts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ConstraintsMet {
+		t.Errorf("constraints unmet at 32 processors (max degree %d)", res.Net.MaxDegree())
+	}
+	if !res.ContentionFree {
+		t.Errorf("not contention-free at 32 processors: %d witnesses", len(res.Witnesses))
+	}
+	if res.Net.NumSwitches() >= 32 {
+		t.Errorf("no consolidation at 32 processors: %d switches", res.Net.NumSwitches())
+	}
+	if res.Net.TotalLinks() >= 52 { // 4x8 mesh has 52 links
+		t.Errorf("links %d not below 4x8 mesh (52)", res.Net.TotalLinks())
+	}
+}

@@ -1,0 +1,354 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/trace"
+)
+
+// testState builds a state from a small phased pattern.
+func testState(t *testing.T, procs int, phases []trace.PhaseSpec, seed int64) *state {
+	t.Helper()
+	p := trace.BuildPhased("t", procs, phases)
+	cliques := model.MaxCliqueSet(p)
+	return newState(p, cliques, Options{Seed: seed}.normalized(), seed, &Stats{})
+}
+
+func pairPhases() []trace.PhaseSpec {
+	return []trace.PhaseSpec{
+		{Flows: []model.Flow{model.F(0, 1), model.F(2, 3), model.F(4, 5)}, Bytes: 64},
+		{Flows: []model.Flow{model.F(1, 2), model.F(3, 4), model.F(5, 0)}, Bytes: 64},
+	}
+}
+
+func TestNewStateInitial(t *testing.T) {
+	s := testState(t, 6, pairPhases(), 1)
+	if len(s.swProcs) != 1 || len(s.swProcs[0]) != 6 {
+		t.Fatalf("initial partition: %v", s.swProcs)
+	}
+	for _, f := range s.flows {
+		r := s.routes[f]
+		if len(r) != 1 || r[0] != 0 {
+			t.Fatalf("flow %v initial route %v", f, r)
+		}
+	}
+	if s.totalHops != 0 {
+		t.Fatalf("initial hops %d", s.totalHops)
+	}
+	if s.totalLinks() != 0 {
+		t.Fatalf("megaswitch should need no links, got %d", s.totalLinks())
+	}
+}
+
+func TestSetRouteMaintainsPipes(t *testing.T) {
+	s := testState(t, 6, pairPhases(), 1)
+	s.swProcs = [][]int{{0, 1, 2}, {3, 4, 5}}
+	for p := 0; p < 6; p++ {
+		s.home[p] = p / 3
+	}
+	f := model.F(2, 3)
+	s.setRoute(f, []int{0, 1})
+	if !s.pipes[[2]int{0, 1}][f] {
+		t.Fatal("pipe set not updated")
+	}
+	if s.totalHops != 1 {
+		t.Fatalf("hops = %d", s.totalHops)
+	}
+	s.setRoute(f, []int{0})
+	if s.pipes[[2]int{0, 1}][f] {
+		t.Fatal("old pipe entry not removed")
+	}
+	if s.totalHops != 0 {
+		t.Fatalf("hops after reroute = %d", s.totalHops)
+	}
+}
+
+func TestFastColorDirCountsCliqueOverlap(t *testing.T) {
+	s := testState(t, 6, pairPhases(), 1)
+	s.swProcs = [][]int{{0, 2, 4}, {1, 3, 5}}
+	for _, p := range []int{0, 2, 4} {
+		s.home[p] = 0
+	}
+	for _, p := range []int{1, 3, 5} {
+		s.home[p] = 1
+	}
+	// Phase 1 flows (0,1),(2,3),(4,5) all cross 0->1: same period =>
+	// width 3. Phase 2 flows (1,2),(3,4),(5,0) all cross 1->0.
+	for _, f := range s.flows {
+		s.setRoute(f, s.directRoute(f))
+	}
+	if got := s.fastColorDir(0, 1); got != 3 {
+		t.Fatalf("fastColorDir(0,1) = %d, want 3", got)
+	}
+	if got := s.fastColorDir(1, 0); got != 3 {
+		t.Fatalf("fastColorDir(1,0) = %d, want 3", got)
+	}
+	if got := s.estWidth(0, 1); got != 3 {
+		t.Fatalf("estWidth = %d, want 3", got)
+	}
+	// Degree: 3 procs + 3 links.
+	if got := s.estDegree(0); got != 6 {
+		t.Fatalf("estDegree = %d, want 6", got)
+	}
+}
+
+func TestSplitPreservesFlowAccounting(t *testing.T) {
+	s := testState(t, 6, pairPhases(), 3)
+	j := s.split(0)
+	if j != 1 || len(s.swProcs) != 2 {
+		t.Fatalf("split: %v", s.swProcs)
+	}
+	if len(s.swProcs[0])+len(s.swProcs[1]) != 6 {
+		t.Fatalf("processors lost: %v", s.swProcs)
+	}
+	checkStateInvariants(t, s)
+}
+
+func TestReattachReroutesTouchedFlows(t *testing.T) {
+	s := testState(t, 6, pairPhases(), 3)
+	s.split(0)
+	p := s.swProcs[0][0]
+	target := 1
+	s.reattach(p, target)
+	if s.home[p] != target {
+		t.Fatalf("home not updated")
+	}
+	for _, f := range s.procFlows[p] {
+		r := s.routes[f]
+		if r[0] != s.home[f.Src] || r[len(r)-1] != s.home[f.Dst] {
+			t.Fatalf("flow %v route %v inconsistent with homes", f, r)
+		}
+	}
+	checkStateInvariants(t, s)
+}
+
+func TestTryMoveUndoRestoresExactly(t *testing.T) {
+	s := testState(t, 6, pairPhases(), 5)
+	s.split(0)
+	before := snapshotFull(s)
+	p := s.swProcs[0][0]
+	_, undo := s.tryMove(p, 1)
+	undo()
+	after := snapshotFull(s)
+	if !equalSnapshots(before, after) {
+		t.Fatalf("undo did not restore state:\nbefore=%v\nafter=%v", before, after)
+	}
+}
+
+func TestTrySwapUndoRestoresExactly(t *testing.T) {
+	s := testState(t, 6, pairPhases(), 5)
+	s.split(0)
+	if len(s.swProcs[0]) == 0 || len(s.swProcs[1]) == 0 {
+		t.Skip("degenerate split")
+	}
+	p, q := s.swProcs[0][0], s.swProcs[1][0]
+	before := snapshotFull(s)
+	_, undo := s.trySwap(p, q)
+	undo()
+	after := snapshotFull(s)
+	if !equalSnapshots(before, after) {
+		t.Fatalf("swap undo did not restore state")
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	s := testState(t, 6, pairPhases(), 7)
+	s.split(0)
+	snap := s.snapshot()
+	before := snapshotFull(s)
+	// Mutate heavily.
+	s.reattach(s.swProcs[0][0], 1)
+	for _, f := range s.flows {
+		s.setRoute(f, s.directRoute(f))
+	}
+	s.restore(snap)
+	after := snapshotFull(s)
+	if !equalSnapshots(before, after) {
+		t.Fatalf("restore did not reproduce snapshot")
+	}
+}
+
+// groupRouteDelta must evaluate without mutating.
+func TestRouteDeltaIsNeutralOnRestore(t *testing.T) {
+	s := testState(t, 6, pairPhases(), 9)
+	s.split(0)
+	before := snapshotFull(s)
+	for _, f := range s.flows {
+		a, b := s.home[f.Src], s.home[f.Dst]
+		if a == b {
+			continue
+		}
+		s.groupRouteDelta([]model.Flow{f}, []int{a, b})
+	}
+	if !equalSnapshots(before, snapshotFull(s)) {
+		t.Fatal("routeDelta mutated state")
+	}
+}
+
+func TestBalancedAfterMove(t *testing.T) {
+	s := testState(t, 6, pairPhases(), 1)
+	s.swProcs = [][]int{{0, 1, 2, 3}, {4, 5}}
+	for p := 0; p < 4; p++ {
+		s.home[p] = 0
+	}
+	s.home[4], s.home[5] = 1, 1
+	// 4/2 -> moving from 0 to 1 gives 3/3: fine.
+	if !s.balancedAfterMove(0, 1, 0, 1) {
+		t.Error("balancing move rejected")
+	}
+	// Moving from 1 to 0 gives 5/1: unbalanced by 4.
+	if s.balancedAfterMove(4, 0, 0, 1) {
+		t.Error("unbalancing move accepted")
+	}
+	// Emptying a half is forbidden.
+	s.swProcs = [][]int{{0, 1, 2, 3, 4}, {5}}
+	for p := 0; p < 5; p++ {
+		s.home[p] = 0
+	}
+	s.home[5] = 1
+	if s.balancedAfterMove(5, 0, 0, 1) {
+		t.Error("move emptying a partition accepted")
+	}
+}
+
+// checkStateInvariants verifies the cross-structure consistency of a state.
+func checkStateInvariants(t *testing.T, s *state) {
+	t.Helper()
+	// Home/swProcs agreement.
+	for sw, procs := range s.swProcs {
+		for _, p := range procs {
+			if s.home[p] != sw {
+				t.Fatalf("proc %d in swProcs[%d] but home %d", p, sw, s.home[p])
+			}
+		}
+	}
+	count := 0
+	for _, procs := range s.swProcs {
+		count += len(procs)
+	}
+	if count != s.procs {
+		t.Fatalf("%d processors accounted, want %d", count, s.procs)
+	}
+	// Routes match homes and pipes match routes.
+	hops := 0
+	for _, f := range s.flows {
+		r := s.routes[f]
+		if r[0] != s.home[f.Src] || r[len(r)-1] != s.home[f.Dst] {
+			t.Fatalf("flow %v route %v vs homes %d->%d", f, r, s.home[f.Src], s.home[f.Dst])
+		}
+		hops += len(r) - 1
+		for i := 1; i < len(r); i++ {
+			if !s.pipes[[2]int{r[i-1], r[i]}][f] {
+				t.Fatalf("flow %v hop %d missing from pipe set", f, i)
+			}
+		}
+	}
+	if hops != s.totalHops {
+		t.Fatalf("totalHops %d, recomputed %d", s.totalHops, hops)
+	}
+	// No stale pipe entries.
+	for key, set := range s.pipes {
+		for f := range set {
+			r := s.routes[f]
+			found := false
+			for i := 1; i < len(r); i++ {
+				if r[i-1] == key[0] && r[i] == key[1] {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("stale pipe entry %v for flow %v (route %v)", key, f, r)
+			}
+		}
+	}
+}
+
+type fullSnapshot struct {
+	home  []int
+	hops  int
+	route map[model.Flow]string
+}
+
+func snapshotFull(s *state) fullSnapshot {
+	snap := fullSnapshot{
+		home:  append([]int(nil), s.home...),
+		hops:  s.totalHops,
+		route: make(map[model.Flow]string),
+	}
+	for f, r := range s.routes {
+		key := ""
+		for _, sw := range r {
+			key += string(rune('A' + sw))
+		}
+		snap.route[f] = key
+	}
+	return snap
+}
+
+func equalSnapshots(a, b fullSnapshot) bool {
+	if a.hops != b.hops || len(a.home) != len(b.home) {
+		return false
+	}
+	for i := range a.home {
+		if a.home[i] != b.home[i] {
+			return false
+		}
+	}
+	if len(a.route) != len(b.route) {
+		return false
+	}
+	for f, r := range a.route {
+		if b.route[f] != r {
+			return false
+		}
+	}
+	return true
+}
+
+// Property: after any random sequence of splits, moves, and reroutes the
+// state invariants hold.
+func TestStateInvariantsUnderRandomOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 20; trial++ {
+		s := testState(t, 8, []trace.PhaseSpec{
+			{Flows: []model.Flow{model.F(0, 1), model.F(2, 3), model.F(4, 5), model.F(6, 7)}, Bytes: 64},
+			{Flows: []model.Flow{model.F(1, 4), model.F(3, 6), model.F(5, 0), model.F(7, 2)}, Bytes: 64},
+		}, int64(trial))
+		for op := 0; op < 30; op++ {
+			switch rng.Intn(3) {
+			case 0:
+				// Split a random switch with >= 2 procs.
+				var eligible []int
+				for sw, procs := range s.swProcs {
+					if len(procs) >= 2 {
+						eligible = append(eligible, sw)
+					}
+				}
+				if len(eligible) > 0 && len(s.swProcs) < 6 {
+					s.split(eligible[rng.Intn(len(eligible))])
+				}
+			case 1:
+				p := rng.Intn(8)
+				to := rng.Intn(len(s.swProcs))
+				if to != s.home[p] {
+					s.reattach(p, to)
+				}
+			case 2:
+				f := s.flows[rng.Intn(len(s.flows))]
+				a, b := s.home[f.Src], s.home[f.Dst]
+				if a == b {
+					continue
+				}
+				m := rng.Intn(len(s.swProcs))
+				if m != a && m != b {
+					s.setRoute(f, []int{a, m, b})
+				} else {
+					s.setRoute(f, []int{a, b})
+				}
+			}
+			checkStateInvariants(t, s)
+		}
+	}
+}

@@ -1,0 +1,503 @@
+// Package synth implements the paper's design methodology (Section 3 and the
+// Appendix): given a well-behaved communication pattern, it constructs a
+// minimal, low-contention network topology by recursive bisection.
+//
+// Starting from a single "megaswitch" crossbar connecting all processors,
+// switches that violate the design constraints (maximum node degree) are
+// repeatedly split in two. Each split distributes processors between the
+// halves with improving (optionally annealed) moves, reroutes flows over
+// direct or one-intermediate indirect paths (Best_Route), and estimates pipe
+// widths with the Fast_Color clique-intersection bound. A global refinement
+// pass then polishes placement and routes across all switches. When every
+// switch satisfies the constraints, pipe widths are finalized by formal
+// conflict-graph coloring, which also assigns each flow a physical link per
+// hop — guaranteeing, by construction, that the potential communication
+// contention set C and the network resource conflict set R do not intersect
+// (Theorem 1).
+package synth
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// Constraints are the design constraints of Section 3.4.
+type Constraints struct {
+	// MaxDegree bounds the port count of every switch (processor ports
+	// plus link ports). The paper uses 5 to match mesh/torus routers.
+	MaxDegree int
+	// MaxProcsPerSwitch bounds processors per switch; the tile floorplan
+	// shares one switch among at most the four tiles meeting at a corner.
+	MaxProcsPerSwitch int
+}
+
+// AnnealConfig tunes the move-acceptance schedule. The zero value selects
+// pure greedy improving moves, which is what the Appendix's step 8-9
+// describe; a positive InitialTemp enables classic simulated annealing on
+// top (kept as a documented ablation).
+type AnnealConfig struct {
+	InitialTemp float64
+	// Cooling is the per-step temperature multiplier (default 0.9).
+	Cooling float64
+	// Steps is the number of annealed move attempts per split
+	// (default 32).
+	Steps int
+}
+
+// Options configures a synthesis run.
+type Options struct {
+	Constraints
+	// Seed makes the run reproducible.
+	Seed int64
+	// Restarts runs the whole synthesis several times with derived seeds
+	// and keeps the best result (default 4).
+	Restarts int
+	// Anneal selects the move-acceptance schedule.
+	Anneal AnnealConfig
+	// DisableBestRoute skips indirect-path optimization (ablation).
+	DisableBestRoute bool
+	// DisableGlobalRefine skips the cross-switch polish pass (ablation).
+	DisableGlobalRefine bool
+	// GreedyFinalColoring replaces the formal (exact) coloring at
+	// finalization with DSATUR (ablation).
+	GreedyFinalColoring bool
+	// MaxRounds bounds the outer partition-finalize loop (default 16).
+	MaxRounds int
+}
+
+func (o Options) normalized() Options {
+	if o.MaxDegree == 0 {
+		o.MaxDegree = 5
+	}
+	if o.MaxProcsPerSwitch == 0 {
+		o.MaxProcsPerSwitch = 4
+	}
+	if o.Restarts == 0 {
+		o.Restarts = 4
+	}
+	if o.Anneal.Cooling == 0 {
+		o.Anneal.Cooling = 0.9
+	}
+	if o.Anneal.Steps == 0 {
+		o.Anneal.Steps = 32
+	}
+	if o.MaxRounds == 0 {
+		o.MaxRounds = 16
+	}
+	return o
+}
+
+// Stats counts the work a synthesis run performed.
+type Stats struct {
+	Splits         int
+	MovesEvaluated int
+	MovesCommitted int
+	Reroutes       int
+	GlobalMoves    int
+	Rounds         int
+	RestartsRun    int
+	Repairs        int
+}
+
+// state is the mutable partitioning state. Switches are dense indices; the
+// pipe graph is implicitly complete (every split connects the new switch to
+// the split switch and to all of its neighbors, so completeness is
+// invariant), with unused pipes carrying no flows and hence zero estimated
+// width.
+type state struct {
+	procs       int
+	cliques     []model.Clique
+	contention  model.PairSet
+	flows       []model.Flow
+	flowCliques map[model.Flow][]int
+	procFlows   [][]model.Flow
+
+	home    []int   // processor -> switch
+	swProcs [][]int // switch -> processors
+	routes  map[model.Flow][]int
+	pipes   map[[2]int]map[model.Flow]bool // ordered (from,to) -> flows
+
+	totalHops int
+	rng       *rand.Rand
+	opt       Options
+	stats     *Stats
+
+	cliqueCount []int          // scratch buffer for fast coloring
+	widthCache  map[[2]int]int // estWidth memo, invalidated by setRoute
+}
+
+func newState(p *model.Pattern, cliques []model.Clique, opt Options, seed int64, stats *Stats) *state {
+	s := &state{
+		procs:       p.Procs,
+		cliques:     cliques,
+		contention:  model.ContentionSetFromCliques(cliques),
+		flows:       model.CliqueFlows(cliques),
+		flowCliques: make(map[model.Flow][]int),
+		procFlows:   make([][]model.Flow, p.Procs),
+		home:        make([]int, p.Procs),
+		routes:      make(map[model.Flow][]int),
+		pipes:       make(map[[2]int]map[model.Flow]bool),
+		rng:         rand.New(rand.NewSource(seed)),
+		opt:         opt,
+		stats:       stats,
+		cliqueCount: make([]int, len(cliques)),
+		widthCache:  make(map[[2]int]int),
+	}
+	for ci, c := range cliques {
+		for _, f := range c {
+			s.flowCliques[f] = append(s.flowCliques[f], ci)
+		}
+	}
+	all := make([]int, p.Procs)
+	s.swProcs = [][]int{all}
+	for i := range all {
+		all[i] = i
+	}
+	for _, f := range s.flows {
+		s.procFlows[f.Src] = append(s.procFlows[f.Src], f)
+		if f.Dst != f.Src {
+			s.procFlows[f.Dst] = append(s.procFlows[f.Dst], f)
+		}
+		s.routes[f] = []int{0}
+	}
+	return s
+}
+
+func pairKey(a, b int) [2]int {
+	if b < a {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// setRoute replaces a flow's route, maintaining the per-pipe flow sets and
+// total hop count.
+func (s *state) setRoute(f model.Flow, route []int) {
+	if old, ok := s.routes[f]; ok {
+		for i := 1; i < len(old); i++ {
+			delete(s.pipes[[2]int{old[i-1], old[i]}], f)
+			delete(s.widthCache, pairKey(old[i-1], old[i]))
+		}
+		s.totalHops -= len(old) - 1
+	}
+	s.routes[f] = route
+	for i := 1; i < len(route); i++ {
+		key := [2]int{route[i-1], route[i]}
+		set := s.pipes[key]
+		if set == nil {
+			set = make(map[model.Flow]bool)
+			s.pipes[key] = set
+		}
+		set[f] = true
+		delete(s.widthCache, pairKey(route[i-1], route[i]))
+	}
+	s.totalHops += len(route) - 1
+}
+
+// directRoute is the one-pipe path between the endpoints' home switches.
+func (s *state) directRoute(f model.Flow) []int {
+	a, b := s.home[f.Src], s.home[f.Dst]
+	if a == b {
+		return []int{a}
+	}
+	return []int{a, b}
+}
+
+// split performs step 5 of the main algorithm: create a new switch and move
+// half of sw's processors (randomly chosen) to it, rerouting affected flows
+// directly. Returns the new switch's index.
+func (s *state) split(sw int) int {
+	j := len(s.swProcs)
+	s.swProcs = append(s.swProcs, nil)
+	ps := append([]int(nil), s.swProcs[sw]...)
+	s.rng.Shuffle(len(ps), func(a, b int) { ps[a], ps[b] = ps[b], ps[a] })
+	half := len(ps) / 2
+	for _, p := range ps[:half] {
+		s.reattach(p, j)
+	}
+	s.stats.Splits++
+	return j
+}
+
+// reattach moves processor p to switch to and resets the routes of all flows
+// touching p to direct paths.
+func (s *state) reattach(p, to int) {
+	s.reattachNoReroute(p, to)
+	for _, f := range s.procFlows[p] {
+		s.setRoute(f, s.directRoute(f))
+	}
+}
+
+// reattachNoReroute moves the processor without touching routes (used by
+// undo, which restores routes explicitly).
+func (s *state) reattachNoReroute(p, to int) {
+	from := s.home[p]
+	procs := s.swProcs[from]
+	for i, q := range procs {
+		if q == p {
+			s.swProcs[from] = append(procs[:i], procs[i+1:]...)
+			break
+		}
+	}
+	s.home[p] = to
+	s.swProcs[to] = append(s.swProcs[to], p)
+}
+
+// routeUndo captures route state for rollback.
+type routeUndo struct {
+	flow  model.Flow
+	route []int
+}
+
+// tryMove evaluates moving processor p to switch `to` (flows touching p
+// rerouted directly, per step 7's "assuming direct routes"), returning the
+// cost delta and an undo closure. The move is left applied; the caller
+// either keeps it or invokes undo.
+func (s *state) tryMove(p, to int) (delta int, undo func()) {
+	from := s.home[p]
+	var undos []routeUndo
+	affected := make(map[[2]int]bool)
+	for _, f := range s.procFlows[p] {
+		r := s.routes[f]
+		undos = append(undos, routeUndo{flow: f, route: r})
+		for i := 1; i < len(r); i++ {
+			affected[pairKey(r[i-1], r[i])] = true
+		}
+	}
+	// Provisionally apply to discover the new direct routes' pipes.
+	s.reattach(p, to)
+	for _, f := range s.procFlows[p] {
+		r := s.routes[f]
+		for i := 1; i < len(r); i++ {
+			affected[pairKey(r[i-1], r[i])] = true
+		}
+	}
+	sws := switchesOfPairs(affected, from, to)
+	after := s.localCost(affected, sws)
+	undoFn := func() {
+		s.reattachNoReroute(p, from)
+		for _, u := range undos {
+			s.setRoute(u.flow, u.route)
+		}
+	}
+	// Measure "before" by undoing, then reapply.
+	undoFn()
+	before := s.localCost(affected, sws)
+	s.reattach(p, to)
+	s.stats.MovesEvaluated++
+	return after - before, undoFn
+}
+
+// balancedAfterMove checks the Appendix's step 8 balance rule: a move must
+// not leave the two partitions differing by more than two processors. It
+// additionally forbids emptying either half — undoing a split entirely just
+// recreates the violating switch and cycles the partitioning loop.
+func (s *state) balancedAfterMove(p, to int, i, j int) bool {
+	ni, nj := len(s.swProcs[i]), len(s.swProcs[j])
+	if s.home[p] == i && to == j {
+		ni, nj = ni-1, nj+1
+	} else if s.home[p] == j && to == i {
+		ni, nj = ni+1, nj-1
+	}
+	if ni == 0 || nj == 0 {
+		return false
+	}
+	d := ni - nj
+	if d < 0 {
+		d = -d
+	}
+	return d <= 2
+}
+
+// optimizeMoves runs the Appendix's step 7-9 loop on a fresh split (i, j):
+// repeatedly commit the best improving processor move between the halves
+// (or, with annealing enabled, a temperature-accepted random move), calling
+// Best_Route after each commit.
+func (s *state) optimizeMoves(i, j int) {
+	if s.opt.Anneal.InitialTemp > 0 {
+		s.annealMoves(i, j)
+	}
+	for iter := 0; iter < 4*s.procs; iter++ {
+		bestDelta := 0
+		bestProc, bestTo := -1, -1
+		candidates := append(append([]int(nil), s.swProcs[i]...), s.swProcs[j]...)
+		sort.Ints(candidates)
+		for _, p := range candidates {
+			to := j
+			if s.home[p] == j {
+				to = i
+			}
+			if !s.balancedAfterMove(p, to, i, j) {
+				continue
+			}
+			delta, undo := s.tryMove(p, to)
+			undo()
+			if delta < bestDelta {
+				bestDelta = delta
+				bestProc, bestTo = p, to
+			}
+		}
+		if bestProc == -1 {
+			return
+		}
+		s.reattach(bestProc, bestTo)
+		s.stats.MovesCommitted++
+		if !s.opt.DisableBestRoute {
+			s.bestRoute([]int{i, j}, []int{i, j})
+		}
+	}
+}
+
+// annealMoves performs temperature-accepted random moves before the greedy
+// descent — the "simulated annealing technique" of Section 3 generalizing
+// the Appendix's greedy loop.
+func (s *state) annealMoves(i, j int) {
+	temp := s.opt.Anneal.InitialTemp
+	for step := 0; step < s.opt.Anneal.Steps && temp > 1e-3; step++ {
+		candidates := append(append([]int(nil), s.swProcs[i]...), s.swProcs[j]...)
+		if len(candidates) == 0 {
+			return
+		}
+		p := candidates[s.rng.Intn(len(candidates))]
+		to := j
+		if s.home[p] == j {
+			to = i
+		}
+		if !s.balancedAfterMove(p, to, i, j) {
+			temp *= s.opt.Anneal.Cooling
+			continue
+		}
+		delta, undo := s.tryMove(p, to)
+		accept := delta < 0 || s.rng.Float64() < math.Exp(-float64(delta)/temp)
+		if accept {
+			s.stats.MovesCommitted++
+			if !s.opt.DisableBestRoute {
+				s.bestRoute([]int{i, j}, []int{i, j})
+			}
+		} else {
+			undo()
+		}
+		temp *= s.opt.Anneal.Cooling
+	}
+}
+
+// globalRefine polishes the whole configuration after partitioning: single-
+// processor relocations across any switch pair and global Best_Route passes,
+// committing strict improvements until a fixed point (bounded sweeps).
+func (s *state) globalRefine() {
+	if s.opt.DisableGlobalRefine {
+		return
+	}
+	for sweep := 0; sweep < 6; sweep++ {
+		changed := false
+		if !s.opt.DisableBestRoute {
+			all := make([]int, len(s.swProcs))
+			for i := range all {
+				all[i] = i
+			}
+			s.bestRoute(all, nil)
+			if s.eliminatePipes() {
+				changed = true
+			}
+		}
+		for p := 0; p < s.procs; p++ {
+			bestDelta := 0
+			bestTo := -1
+			for to := range s.swProcs {
+				if to == s.home[p] {
+					continue
+				}
+				if len(s.swProcs[to]) >= s.opt.MaxProcsPerSwitch {
+					continue
+				}
+				delta, undo := s.tryMove(p, to)
+				undo()
+				if delta < bestDelta {
+					bestDelta = delta
+					bestTo = to
+				}
+			}
+			if bestTo != -1 {
+				s.reattach(p, bestTo)
+				s.stats.GlobalMoves++
+				changed = true
+			}
+		}
+		if s.swapRefine() {
+			changed = true
+		}
+		if s.anyViolation() && !s.opt.DisableBestRoute {
+			if s.eliminatePipes() {
+				changed = true
+			}
+			if s.backboneReroute() {
+				changed = true
+			}
+			s.rerouteAnneal(64 * len(s.swProcs))
+			changed = true
+		}
+		if !s.anyViolation() && s.mergeRefine() {
+			changed = true
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// partition runs the main loop: while some switch violates the constraints
+// and can be split, split it and locally optimize. Returns false if
+// violations remain but no switch can be split further.
+func (s *state) partition() bool {
+	cap := 6*s.procs + 16
+	for iter := 0; iter < cap; iter++ {
+		var splittable []int
+		anyViolation := false
+		for sw := range s.swProcs {
+			if s.violates(sw) {
+				anyViolation = true
+				if len(s.swProcs[sw]) >= 2 {
+					splittable = append(splittable, sw)
+				}
+			}
+		}
+		if !anyViolation {
+			s.globalRefine()
+			return true
+		}
+		if len(splittable) == 0 {
+			s.globalRefine()
+			return !s.anyViolation()
+		}
+		i := splittable[s.rng.Intn(len(splittable))]
+		j := s.split(i)
+		if !s.opt.DisableBestRoute {
+			s.bestRoute([]int{i, j}, []int{i, j})
+		}
+		s.optimizeMoves(i, j)
+	}
+	s.globalRefine()
+	return !s.anyViolation()
+}
+
+func (s *state) anyViolation() bool {
+	for sw := range s.swProcs {
+		if s.violates(sw) {
+			return true
+		}
+	}
+	return false
+}
+
+// routeTouches reports whether a route visits switch sw.
+func routeTouches(route []int, sw int) bool {
+	for _, x := range route {
+		if x == sw {
+			return true
+		}
+	}
+	return false
+}

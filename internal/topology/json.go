@@ -1,0 +1,74 @@
+package topology
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// networkJSON is the serialized form of a Network.
+type networkJSON struct {
+	Name     string     `json:"name"`
+	Procs    int        `json:"procs"`
+	Switches [][]int    `json:"switches"` // procs attached to each switch
+	Pipes    []pipeJSON `json:"pipes"`
+}
+
+type pipeJSON struct {
+	A     int `json:"a"`
+	B     int `json:"b"`
+	Width int `json:"width"`
+}
+
+// EncodeJSON writes the network as indented JSON.
+func (n *Network) EncodeJSON(w io.Writer) error {
+	out := networkJSON{Name: n.Name, Procs: n.Procs}
+	for _, sw := range n.Switches {
+		procs := sw.Procs
+		if procs == nil {
+			procs = []int{}
+		}
+		out.Switches = append(out.Switches, procs)
+	}
+	for _, p := range n.Pipes {
+		out.Pipes = append(out.Pipes, pipeJSON{A: int(p.A), B: int(p.B), Width: p.Width})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// DecodeJSON reads a network serialized by EncodeJSON and validates it.
+func DecodeJSON(r io.Reader) (*Network, error) {
+	var in networkJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, err
+	}
+	n := New(in.Name, in.Procs)
+	for _, procs := range in.Switches {
+		s := n.AddSwitch()
+		for _, p := range procs {
+			if p < 0 || p >= in.Procs {
+				return nil, errOutOfRange(in.Name, p)
+			}
+			n.AttachProc(p, s)
+		}
+	}
+	for _, p := range in.Pipes {
+		n.SetPipe(SwitchID(p.A), SwitchID(p.B), p.Width)
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+type decodeError struct {
+	name string
+	proc int
+}
+
+func errOutOfRange(name string, proc int) error { return &decodeError{name: name, proc: proc} }
+
+func (e *decodeError) Error() string {
+	return "topology " + e.name + ": serialized processor index out of range"
+}
