@@ -1,0 +1,30 @@
+# Tier-1 verification gate (see README.md): vet, build, the full suite
+# under the race detector, and the determinism suite twice — the second
+# -count exercises fresh goroutine schedules so an order-dependent
+# reduction cannot pass by luck.
+GO ?= go
+
+.PHONY: verify vet build test race determinism bench fuzz
+
+verify: vet build race determinism
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+determinism:
+	$(GO) test -run TestDeterminism -count=2 ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' ./...
+
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzParseTrace -fuzztime 30s ./internal/trace

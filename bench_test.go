@@ -204,3 +204,26 @@ func BenchmarkScalingSweep(b *testing.B) {
 		b.ReportMetric(last.SwitchRatio, "switch-ratio-32")
 	}
 }
+
+// BenchmarkHarnessParallel measures the end-to-end experiment fan-out: the
+// full Figure 7 large panel (five benchmark cells, each with its own
+// synthesis and floorplan) at 1 and 4 workers. The rows are identical at
+// every worker count; only wall-clock changes, so BENCH_*.json comparisons
+// across PRs track the speedup directly.
+func BenchmarkHarnessParallel(b *testing.B) {
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			c := cfg()
+			c.Workers = w
+			for i := 0; i < b.N; i++ {
+				rows, err := c.Figure7("large")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rows) != 5 {
+					b.Fatalf("got %d rows", len(rows))
+				}
+			}
+		})
+	}
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	netgen -trace trace.txt [-maxdegree 5] [-maxprocs 4] [-seed 1] [-restarts 4] [-o net.json]
+//	netgen -trace trace.txt [-maxdegree 5] [-maxprocs 4] [-seed 1] [-restarts 4] [-workers 0] [-o net.json]
 package main
 
 import (
@@ -24,6 +24,7 @@ func main() {
 		maxProcs  = flag.Int("maxprocs", 4, "maximum processors per switch")
 		seed      = flag.Int64("seed", 1, "synthesis seed")
 		restarts  = flag.Int("restarts", 4, "synthesis restarts")
+		workers   = flag.Int("workers", 0, "restart fan-out goroutines (0 = GOMAXPROCS); output is identical for any value")
 		out       = flag.String("o", "", "write topology JSON to this file")
 	)
 	flag.Parse()
@@ -44,6 +45,7 @@ func main() {
 		Constraints: synth.Constraints{MaxDegree: *maxDeg, MaxProcsPerSwitch: *maxProcs},
 		Seed:        *seed,
 		Restarts:    *restarts,
+		Workers:     *workers,
 	})
 	if err != nil {
 		fatal(err)

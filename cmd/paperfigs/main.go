@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	paperfigs [-fig all|1|7a|7b|8a|8b|sens|color|ablation|skew] [-quick]
+//	paperfigs [-fig all|1|7a|7b|8a|8b|sens|color|ablation|skew] [-quick] [-workers 0]
 package main
 
 import (
@@ -16,14 +16,16 @@ import (
 
 func main() {
 	var (
-		fig   = flag.String("fig", "all", "figure: all, 1, 7a, 7b, 8a, 8b, sens, color, ablation, multi, scale, skew")
-		quick = flag.Bool("quick", false, "scaled-down workloads (faster)")
+		fig     = flag.String("fig", "all", "figure: all, 1, 7a, 7b, 8a, 8b, sens, color, ablation, multi, scale, skew")
+		quick   = flag.Bool("quick", false, "scaled-down workloads (faster)")
+		workers = flag.Int("workers", 0, "experiment-cell and restart fan-out goroutines (0 = GOMAXPROCS); tables are identical for any value")
 	)
 	flag.Parse()
 	cfg := harness.Paper()
 	if *quick {
 		cfg = harness.Quick()
 	}
+	cfg.Workers = *workers
 	run := func(name string, f func() error) {
 		if *fig != "all" && *fig != name {
 			return

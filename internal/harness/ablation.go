@@ -7,6 +7,7 @@ import (
 	"repro/internal/coloring"
 	"repro/internal/model"
 	"repro/internal/nas"
+	"repro/internal/parallel"
 	"repro/internal/synth"
 	"repro/internal/trace"
 )
@@ -25,17 +26,19 @@ type ColoringQualityRow struct {
 }
 
 // ColoringQuality evaluates Fast_Color tightness on each benchmark's
-// generated network at the given size.
+// generated network at the given size. Benchmark cells run on the Workers
+// pool.
 func (c Config) ColoringQuality(procs map[string]int) ([]ColoringQualityRow, error) {
-	var rows []ColoringQualityRow
-	for _, name := range benchmarkNames() {
+	names := benchmarkNames()
+	return parallel.Map(c.Workers, len(names), func(i int) (ColoringQualityRow, error) {
+		name := names[i]
 		n := procs[name]
 		if n == 0 {
 			_, n = paperProcs(name)
 		}
 		d, err := c.BuildDesign(name, n)
 		if err != nil {
-			return nil, err
+			return ColoringQualityRow{}, err
 		}
 		cliques := d.Result.Cliques
 		contention := model.ContentionSetFromCliques(cliques)
@@ -63,9 +66,8 @@ func (c Config) ColoringQuality(procs map[string]int) ([]ColoringQualityRow, err
 				row.MaxGap = gap
 			}
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // RenderColoringQuality formats the coloring-quality rows.
@@ -110,13 +112,15 @@ func (c Config) Ablations(benchmark string, procs int) ([]AblationRow, error) {
 			o.Anneal = synth.AnnealConfig{InitialTemp: 1 << 18, Cooling: 0.85, Steps: 24}
 		})},
 	}
-	var rows []AblationRow
-	for _, v := range variants {
+	// Every variant synthesizes from the same immutable pattern; the
+	// variant cells run on the Workers pool.
+	return parallel.Map(c.Workers, len(variants), func(i int) (AblationRow, error) {
+		v := variants[i]
 		res, err := synth.Synthesize(pat, v.opts)
 		if err != nil {
-			return nil, fmt.Errorf("ablation %s: %v", v.name, err)
+			return AblationRow{}, fmt.Errorf("ablation %s: %v", v.name, err)
 		}
-		rows = append(rows, AblationRow{
+		return AblationRow{
 			Benchmark: benchmark,
 			Procs:     procs,
 			Variant:   v.name,
@@ -124,9 +128,8 @@ func (c Config) Ablations(benchmark string, procs int) ([]AblationRow, error) {
 			Links:     res.Net.TotalLinks(),
 			Met:       res.ConstraintsMet,
 			Free:      res.ContentionFree,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 func withFlag(o synth.Options, f func(*synth.Options)) synth.Options {
@@ -166,18 +169,17 @@ func (c Config) SkewRobustness(benchmark string, procs int, skews []float64) ([]
 		return nil, err
 	}
 	r := d.Result.Table.ConflictSet()
-	var rows []SkewRow
-	for _, s := range skews {
+	return parallel.Map(c.Workers, len(skews), func(i int) (SkewRow, error) {
+		s := skews[i]
 		skewed := trace.ApplySkew(d.Pattern, s, c.Seed+7)
 		cs := model.ContentionSet(skewed)
 		_, witnesses := model.ContentionFree(cs, r)
-		rows = append(rows, SkewRow{
+		return SkewRow{
 			Skew:      s,
 			Witnesses: len(witnesses),
 			Periods:   len(model.ContentionPeriods(skewed)),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // RenderSkewTable formats skew-robustness rows.

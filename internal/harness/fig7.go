@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/floorplan"
+	"repro/internal/parallel"
 )
 
 // ResourceRow is one bar group of Figure 7: the generated network's switch
@@ -33,9 +34,11 @@ type ResourceRow struct {
 // Figure7 reproduces one panel of Figure 7: resource usage of generated
 // networks for the five benchmarks, normalized to the mesh. size selects the
 // panel: "small" is Figure 7(a) (8/9 nodes), "large" Figure 7(b) (16 nodes).
+// The five benchmark cells are independent and run on the Workers pool.
 func (c Config) Figure7(size string) ([]ResourceRow, error) {
-	var rows []ResourceRow
-	for _, name := range benchmarkNames() {
+	names := benchmarkNames()
+	return parallel.Map(c.Workers, len(names), func(i int) (ResourceRow, error) {
+		name := names[i]
 		small, large := paperProcs(name)
 		procs := small
 		if size == "large" {
@@ -43,11 +46,11 @@ func (c Config) Figure7(size string) ([]ResourceRow, error) {
 		}
 		d, err := c.BuildDesign(name, procs)
 		if err != nil {
-			return nil, fmt.Errorf("figure7 %s/%d: %v", name, procs, err)
+			return ResourceRow{}, fmt.Errorf("figure7 %s/%d: %v", name, procs, err)
 		}
 		meshSw, meshLink := floorplan.MeshBaseline(procs)
 		_, torusLink := floorplan.TorusBaseline(procs)
-		row := ResourceRow{
+		return ResourceRow{
 			Benchmark:      name,
 			Procs:          procs,
 			GenSwitches:    d.Plan.SwitchArea,
@@ -60,10 +63,8 @@ func (c Config) Figure7(size string) ([]ResourceRow, error) {
 			LinkRatioTorus: float64(d.Plan.TotalArea()) / float64(torusLink),
 			ConstraintsMet: d.Result.ConstraintsMet,
 			ContentionFree: d.Result.ContentionFree,
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // RenderResourceTable formats Figure 7 rows as a text table.

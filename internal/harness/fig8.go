@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/flitsim"
+	"repro/internal/parallel"
 )
 
 // PerfRow is one bar of Figure 8: execution and communication time of one
@@ -31,19 +32,27 @@ func Topologies() []string { return []string{"crossbar", "mesh", "torus", "gener
 // communication time of crossbar, mesh, torus, and the generated network,
 // normalized to the crossbar, for each benchmark. size is "small" (8/9
 // nodes, Figure 8(a)) or "large" (16 nodes, Figure 8(b)).
+//
+// Each benchmark cell (one design plus four simulations) runs on the
+// Workers pool; the four topologies within a cell stay sequential because
+// the crossbar run provides the normalization baseline for the others.
 func (c Config) Figure8(size string) ([]PerfRow, error) {
-	var rows []PerfRow
-	for _, name := range benchmarkNames() {
+	names := benchmarkNames()
+	cells, err := parallel.Map(c.Workers, len(names), func(i int) ([]PerfRow, error) {
+		name := names[i]
 		small, large := paperProcs(name)
 		procs := small
 		if size == "large" {
 			procs = large
 		}
-		bench, err := c.Figure8For(name, procs)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, bench...)
+		return c.Figure8For(name, procs)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []PerfRow
+	for _, cell := range cells {
+		rows = append(rows, cell...)
 	}
 	return rows, nil
 }

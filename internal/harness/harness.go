@@ -29,6 +29,12 @@ type Config struct {
 	ByteScale float64
 	// SynthRestarts overrides synthesis restarts (0 = default).
 	SynthRestarts int
+	// Workers bounds the fan-out of the experiment cells and of each
+	// cell's synthesis restarts: 0 selects GOMAXPROCS, 1 forces serial
+	// execution. Results are identical for every worker count — cells
+	// are independent, collected in input order, and the first error in
+	// cell order wins (see internal/parallel).
+	Workers int
 	// Sim carries simulator parameters.
 	Sim flitsim.Config
 }
@@ -48,7 +54,7 @@ func (c Config) nasConfig() nas.Config {
 }
 
 func (c Config) synthOptions() synth.Options {
-	return synth.Options{Seed: c.Seed, Restarts: c.SynthRestarts}
+	return synth.Options{Seed: c.Seed, Restarts: c.SynthRestarts, Workers: c.Workers}
 }
 
 // Design bundles everything the experiments need about one synthesized

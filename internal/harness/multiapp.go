@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/floorplan"
 	"repro/internal/model"
+	"repro/internal/parallel"
 	"repro/internal/synth"
 	"repro/internal/trace"
 )
@@ -48,13 +49,21 @@ func (c Config) MultiApp(apps []string, procs int) (*MultiAppResult, error) {
 		ExecRatio:   make(map[string]float64),
 	}
 	sort.Strings(res.Apps)
+	// Phase 1: each app's dedicated design is an independent cell.
+	dedicated, err := parallel.Map(c.Workers, len(res.Apps), func(i int) (*Design, error) {
+		d, err := c.BuildDesign(res.Apps[i], procs)
+		if err != nil {
+			return nil, fmt.Errorf("multiapp %s: %v", res.Apps[i], err)
+		}
+		return d, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	designs := make(map[string]*Design)
 	var pats []*model.Pattern
-	for _, app := range res.Apps {
-		d, err := c.BuildDesign(app, procs)
-		if err != nil {
-			return nil, fmt.Errorf("multiapp %s: %v", app, err)
-		}
+	for i, app := range res.Apps {
+		d := dedicated[i]
 		designs[app] = d
 		pats = append(pats, d.Pattern)
 		res.OwnSwitches[app] = d.Result.Net.NumSwitches()
@@ -83,20 +92,33 @@ func (c Config) MultiApp(apps []string, procs int) (*MultiAppResult, error) {
 		Result:    mergedRes,
 		Plan:      plan,
 	}
+	// Phase 2: per-app Theorem 1 checks and simulations against the
+	// shared network are again independent cells; the merged design is
+	// only read concurrently.
 	r := mergedRes.Table.ConflictSet()
-	for _, app := range res.Apps {
-		d := designs[app]
+	type appEval struct {
+		free  bool
+		ratio float64
+	}
+	evals, err := parallel.Map(c.Workers, len(res.Apps), func(i int) (appEval, error) {
+		d := designs[res.Apps[i]]
 		free, _ := model.ContentionFree(model.ContentionSet(d.Pattern), r)
-		res.FreeFor[app] = free
 		own, err := c.simulateGenerated(d.Pattern, d)
 		if err != nil {
-			return nil, err
+			return appEval{}, err
 		}
 		shared, err := c.simulateGenerated(d.Pattern, mergedDesign)
 		if err != nil {
-			return nil, err
+			return appEval{}, err
 		}
-		res.ExecRatio[app] = float64(shared.ExecCycles) / float64(own.ExecCycles)
+		return appEval{free: free, ratio: float64(shared.ExecCycles) / float64(own.ExecCycles)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, app := range res.Apps {
+		res.FreeFor[app] = evals[i].free
+		res.ExecRatio[app] = evals[i].ratio
 	}
 	return res, nil
 }

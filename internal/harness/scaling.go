@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/floorplan"
+	"repro/internal/parallel"
 )
 
 // ScalingRow tracks how the methodology's savings evolve with system size —
@@ -21,7 +22,8 @@ type ScalingRow struct {
 }
 
 // Scaling synthesizes networks for one benchmark across processor counts
-// and reports resources normalized to the mesh at each size.
+// and reports resources normalized to the mesh at each size. The per-size
+// cells run on the Workers pool.
 func (c Config) Scaling(benchmark string, sizes []int) ([]ScalingRow, error) {
 	// Large instances are expensive; a single restart per size keeps the
 	// sweep tractable while adaptive retries still rescue failed runs.
@@ -29,14 +31,14 @@ func (c Config) Scaling(benchmark string, sizes []int) ([]ScalingRow, error) {
 	if cfg.SynthRestarts == 0 {
 		cfg.SynthRestarts = 1
 	}
-	var rows []ScalingRow
-	for _, n := range sizes {
+	return parallel.Map(c.Workers, len(sizes), func(i int) (ScalingRow, error) {
+		n := sizes[i]
 		d, err := cfg.BuildDesign(benchmark, n)
 		if err != nil {
-			return nil, fmt.Errorf("scaling %s/%d: %v", benchmark, n, err)
+			return ScalingRow{}, fmt.Errorf("scaling %s/%d: %v", benchmark, n, err)
 		}
 		meshSw, meshLink := floorplan.MeshBaseline(n)
-		rows = append(rows, ScalingRow{
+		return ScalingRow{
 			Procs:          n,
 			Switches:       d.Result.Net.NumSwitches(),
 			Links:          d.Result.Net.TotalLinks(),
@@ -44,9 +46,8 @@ func (c Config) Scaling(benchmark string, sizes []int) ([]ScalingRow, error) {
 			LinkRatioMesh:  float64(d.Plan.TotalArea()) / float64(meshLink),
 			ConstraintsMet: d.Result.ConstraintsMet,
 			ContentionFree: d.Result.ContentionFree,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // RenderScaling formats the scaling sweep.

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/nas"
+	"repro/internal/parallel"
 )
 
 // SensitivityRow is one entry of the Section 4.2 cross-pattern study: a
@@ -23,39 +24,40 @@ type SensitivityRow struct {
 
 // Sensitivity reproduces the cross-pattern experiment: run the named
 // benchmarks' traces on the CG-generated network (the paper uses BT and FFT
-// at 16 nodes).
+// at 16 nodes). The CG design is built once up front; the per-benchmark
+// cells then run on the Workers pool, each reading the shared CG design
+// (designs are immutable after synthesis, so concurrent reads are safe).
 func (c Config) Sensitivity(benchmarks []string, procs int) ([]SensitivityRow, error) {
 	cg, err := c.BuildDesign("CG", procs)
 	if err != nil {
 		return nil, fmt.Errorf("sensitivity: CG design: %v", err)
 	}
-	var rows []SensitivityRow
-	for _, name := range benchmarks {
+	return parallel.Map(c.Workers, len(benchmarks), func(i int) (SensitivityRow, error) {
+		name := benchmarks[i]
 		pat, err := nas.Generate(name, procs, c.nasConfig())
 		if err != nil {
-			return nil, err
+			return SensitivityRow{}, err
 		}
 		own, err := c.BuildDesign(name, procs)
 		if err != nil {
-			return nil, fmt.Errorf("sensitivity: %s design: %v", name, err)
+			return SensitivityRow{}, fmt.Errorf("sensitivity: %s design: %v", name, err)
 		}
 		ownRes, err := c.simulateGenerated(pat, own)
 		if err != nil {
-			return nil, fmt.Errorf("sensitivity: %s on own network: %v", name, err)
+			return SensitivityRow{}, fmt.Errorf("sensitivity: %s on own network: %v", name, err)
 		}
 		cgRes, err := c.simulateGenerated(pat, cg)
 		if err != nil {
-			return nil, fmt.Errorf("sensitivity: %s on CG network: %v", name, err)
+			return SensitivityRow{}, fmt.Errorf("sensitivity: %s on CG network: %v", name, err)
 		}
-		rows = append(rows, SensitivityRow{
+		return SensitivityRow{
 			Benchmark:   name,
 			Procs:       procs,
 			OwnExec:     ownRes.ExecCycles,
 			OnCGExec:    cgRes.ExecCycles,
 			Degradation: float64(cgRes.ExecCycles)/float64(ownRes.ExecCycles) - 1,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // RenderSensitivityTable formats the sensitivity rows.

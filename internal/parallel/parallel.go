@@ -1,0 +1,100 @@
+// Package parallel provides the bounded worker pool shared by the synthesis
+// restart fan-out and the harness experiments. Its contract is determinism:
+// results are collected in input-index order and error propagation picks the
+// same error the equivalent serial loop would have returned, no matter in
+// which order the workers happen to finish.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: any value below 1 selects
+// runtime.GOMAXPROCS(0), i.e. one worker per available CPU.
+func Workers(n int) int {
+	if n < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Map runs fn(i) for every i in [0, n) on at most Workers(workers)
+// goroutines and returns the n results indexed by input position.
+//
+// Error propagation is deterministic for deterministic fn: indices are
+// dispatched in increasing order and, once any call fails, no further
+// indices are handed out; among the calls that did run, the error of the
+// smallest failing index wins. Every index below the first failing one has
+// necessarily been dispatched already (dispatch is monotonic), so the
+// returned error is exactly the one the serial loop
+//
+//	for i := 0; i < n; i++ { if _, err := fn(i); err != nil { return err } }
+//
+// would have produced.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	if n == 0 {
+		return results, nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		// Serial fast path: no goroutines, trivially ordered.
+		for i := 0; i < n; i++ {
+			r, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+	var (
+		next    atomic.Int64
+		stopped atomic.Bool
+		mu      sync.Mutex
+		errIdx  = n
+		firstEr error
+		wg      sync.WaitGroup
+	)
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || stopped.Load() {
+					return
+				}
+				r, err := fn(i)
+				if err != nil {
+					mu.Lock()
+					if i < errIdx {
+						errIdx, firstEr = i, err
+					}
+					mu.Unlock()
+					stopped.Store(true)
+					return
+				}
+				results[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	if firstEr != nil {
+		return nil, firstEr
+	}
+	return results, nil
+}
+
+// Run is Map for work that produces no value.
+func Run(workers, n int, fn func(i int) error) error {
+	_, err := Map(workers, n, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}

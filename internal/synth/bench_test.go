@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/nas"
@@ -30,5 +31,29 @@ func BenchmarkSynthesizeCG16(b *testing.B) {
 		if _, err := Synthesize(pat, Options{Seed: 1, Restarts: 1}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSynthesizeParallel measures restart fan-out scaling on CG-16:
+// eight restarts spread over 1/2/4/8 workers. Every sub-benchmark computes
+// the identical design; only wall-clock should change with worker count
+// (on a multi-core host, 4 workers should cut time by ≥2× versus 1).
+func BenchmarkSynthesizeParallel(b *testing.B) {
+	pat, err := nas.Generate("CG", 16, nas.Config{Iterations: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := Synthesize(pat, Options{Seed: 1, Restarts: 8, Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.ContentionFree {
+					b.Fatal("not contention-free")
+				}
+			}
+		})
 	}
 }

@@ -1,0 +1,90 @@
+package synth
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/nas"
+)
+
+// quickNASConfig mirrors harness.Quick()'s workload scale (the harness
+// package cannot be imported here without a cycle).
+func quickNASConfig() nas.Config { return nas.Config{Iterations: 1, ByteScale: 0.25} }
+
+// designBytes serializes a result's full design — topology, pipe widths,
+// source routes with per-hop link assignments — so two results can be
+// compared for byte identity.
+func designBytes(t *testing.T, res *Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := SaveDesign(&buf, res.Net, res.Table); err != nil {
+		t.Fatalf("SaveDesign: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestDeterminismSerialVsParallel is the race-proofing contract of the
+// restart fan-out: for every NAS pattern at quick scale, Workers:1 and
+// Workers:8 with the same seed must return byte-identical designs
+// (topology, routes, pipe widths) and identical verdicts.
+func TestDeterminismSerialVsParallel(t *testing.T) {
+	for _, name := range nas.Names() {
+		small, _ := nas.PaperProcs(name)
+		pat, err := nas.Generate(name, small, quickNASConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial := synthOrDie(t, pat, Options{Seed: 1, Restarts: 2, Workers: 1})
+		par := synthOrDie(t, pat, Options{Seed: 1, Restarts: 2, Workers: 8})
+		if got, want := designBytes(t, par), designBytes(t, serial); !bytes.Equal(got, want) {
+			t.Errorf("%s: Workers:8 design differs from Workers:1\nserial:\n%s\nparallel:\n%s", name, want, got)
+		}
+		if serial.ConstraintsMet != par.ConstraintsMet || serial.ContentionFree != par.ContentionFree {
+			t.Errorf("%s: verdicts differ: serial met=%v free=%v, parallel met=%v free=%v",
+				name, serial.ConstraintsMet, serial.ContentionFree, par.ConstraintsMet, par.ContentionFree)
+		}
+		if serial.Stats.RestartsRun != par.Stats.RestartsRun {
+			t.Errorf("%s: RestartsRun differs: serial %d, parallel %d",
+				name, serial.Stats.RestartsRun, par.Stats.RestartsRun)
+		}
+	}
+}
+
+// TestDeterminismParallelSelfIdentical re-runs the parallel path several
+// times on each pattern: completion order varies across runs, the reduced
+// winner must not.
+func TestDeterminismParallelSelfIdentical(t *testing.T) {
+	for _, name := range nas.Names() {
+		small, _ := nas.PaperProcs(name)
+		pat, err := nas.Generate(name, small, quickNASConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var first []byte
+		for rep := 0; rep < 3; rep++ {
+			res := synthOrDie(t, pat, Options{Seed: 5, Restarts: 4, Workers: 8})
+			b := designBytes(t, res)
+			if rep == 0 {
+				first = b
+			} else if !bytes.Equal(b, first) {
+				t.Fatalf("%s: parallel run %d differs from run 0", name, rep)
+			}
+		}
+	}
+}
+
+// TestDeterminismWorkerCountSweep pins the invariant across intermediate
+// worker counts, including counts exceeding the restart count.
+func TestDeterminismWorkerCountSweep(t *testing.T) {
+	pat, err := nas.Generate("CG", 16, quickNASConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := designBytes(t, synthOrDie(t, pat, Options{Seed: 2, Restarts: 3, Workers: 1}))
+	for _, w := range []int{0, 2, 3, 5, 16} {
+		got := designBytes(t, synthOrDie(t, pat, Options{Seed: 2, Restarts: 3, Workers: w}))
+		if !bytes.Equal(got, want) {
+			t.Errorf("Workers:%d design differs from Workers:1", w)
+		}
+	}
+}

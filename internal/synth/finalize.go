@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/coloring"
 	"repro/internal/model"
+	"repro/internal/parallel"
 	"repro/internal/routing"
 	"repro/internal/topology"
 )
@@ -220,26 +221,70 @@ func repairConnectivity(net *topology.Network) int {
 // best result over the configured restarts (fewest links, then fewest
 // switches, then fewest total hops; runs meeting the constraints and
 // verifying contention-free always beat runs that do not).
+//
+// Restarts execute concurrently on an Options.Workers-bounded pool. Each
+// restart is fully independent — its seed is derived from the restart index
+// alone and all mutable state lives in its private *state — and the
+// reduction folds results in restart-index order, so the chosen winner (and
+// every byte of the returned design) is identical to the serial loop's no
+// matter which worker finishes first.
 func Synthesize(p *model.Pattern, opt Options) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("synth: %v", err)
 	}
 	opt = opt.normalized()
 	cliques := model.MaxCliqueSet(p)
+
+	// runBatch computes restarts [from, from+n) concurrently. Errors are
+	// carried per-run rather than through Map so the in-order fold below
+	// reports exactly the error the serial loop would have hit first.
+	type runOut struct {
+		res *Result
+		err error
+	}
+	runBatch := func(from, n int) []runOut {
+		outs, _ := parallel.Map(opt.Workers, n, func(i int) (runOut, error) {
+			res, err := synthesizeOnce(p, cliques, opt, opt.Seed+int64(from+i)*7919)
+			return runOut{res: res, err: err}, nil
+		})
+		return outs
+	}
+
+	// The configured restarts always all run and all fold.
 	var best *Result
 	run := 0
+	for _, out := range runBatch(0, opt.Restarts) {
+		if out.err != nil {
+			return nil, out.err
+		}
+		run++
+		if better(out.res, best) {
+			best = out.res
+		}
+	}
 	// After the configured restarts, keep drawing fresh seeds (up to
 	// three times as many) while no run has met the design constraints —
 	// random bisection quality varies and a failed run is much worse
-	// than a slightly slower one.
-	for run < opt.Restarts || (!best.ConstraintsMet && run < 4*opt.Restarts) {
-		res, err := synthesizeOnce(p, cliques, opt, opt.Seed+int64(run)*7919)
-		if err != nil {
-			return nil, err
+	// than a slightly slower one. Extension batches are speculative: the
+	// fold stops at the first restart index that satisfies the
+	// constraints, discarding any later speculative results, which keeps
+	// the winner and Stats.RestartsRun identical to the serial loop.
+	for !best.ConstraintsMet && run < 4*opt.Restarts {
+		n := parallel.Workers(opt.Workers)
+		if rem := 4*opt.Restarts - run; n > rem {
+			n = rem
 		}
-		run++
-		if better(res, best) {
-			best = res
+		for _, out := range runBatch(run, n) {
+			if out.err != nil {
+				return nil, out.err
+			}
+			run++
+			if better(out.res, best) {
+				best = out.res
+			}
+			if best.ConstraintsMet {
+				break
+			}
 		}
 	}
 	best.Stats.RestartsRun = run

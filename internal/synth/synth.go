@@ -55,6 +55,11 @@ type Options struct {
 	// Restarts runs the whole synthesis several times with derived seeds
 	// and keeps the best result (default 4).
 	Restarts int
+	// Workers bounds the goroutines the restarts fan out over: 0 selects
+	// GOMAXPROCS, 1 forces the serial path. Every worker count produces
+	// bit-identical results — each restart owns a derived-seed RNG and
+	// private state, and the reduction scans restart indices in order.
+	Workers int
 	// Anneal selects the move-acceptance schedule.
 	Anneal AnnealConfig
 	// DisableBestRoute skips indirect-path optimization (ablation).
