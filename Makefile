@@ -4,7 +4,7 @@
 # reduction cannot pass by luck.
 GO ?= go
 
-.PHONY: verify vet build test race determinism bench fuzz
+.PHONY: verify vet build test race determinism bench bench-all fuzz
 
 verify: vet build race determinism
 
@@ -23,7 +23,15 @@ race:
 determinism:
 	$(GO) test -run TestDeterminism -count=2 ./...
 
+# bench runs the synthesis hot-path benchmarks with allocation stats and
+# writes BENCH_synth.json (a machine-readable summary) plus BENCH_synth.txt
+# (the raw benchstat-compatible text).
 bench:
+	$(GO) test -run '^$$' -bench 'Synthesize|FastColor|Coloring|ContentionPeriods|MaxClique' -benchmem \
+		./internal/synth ./internal/coloring ./internal/model \
+		| $(GO) run ./cmd/benchjson -o BENCH_synth.json -raw BENCH_synth.txt
+
+bench-all:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...
 
 fuzz:

@@ -4,13 +4,15 @@
 //
 // Usage:
 //
-//	netgen -trace trace.txt [-maxdegree 5] [-maxprocs 4] [-seed 1] [-restarts 4] [-workers 0] [-o net.json]
+//	netgen -trace trace.txt [-maxdegree 5] [-maxprocs 4] [-seed 1] [-restarts 4] [-workers 0] [-o net.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/floorplan"
 	"repro/internal/synth"
@@ -26,8 +28,33 @@ func main() {
 		restarts  = flag.Int("restarts", 4, "synthesis restarts")
 		workers   = flag.Int("workers", 0, "restart fan-out goroutines (0 = GOMAXPROCS); output is identical for any value")
 		out       = flag.String("o", "", "write topology JSON to this file")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	if *cpuProf != "" {
+		pf, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			pf, err := os.Create(*memProf)
+			if err != nil {
+				fatal(err)
+			}
+			defer pf.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(pf); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 	if *tracePath == "" {
 		fatal(fmt.Errorf("-trace is required"))
 	}

@@ -3,13 +3,15 @@
 //
 // Usage:
 //
-//	paperfigs [-fig all|1|7a|7b|8a|8b|sens|color|ablation|skew] [-quick] [-workers 0]
+//	paperfigs [-fig all|1|7a|7b|8a|8b|sens|color|ablation|skew] [-quick] [-workers 0] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/harness"
 )
@@ -19,8 +21,37 @@ func main() {
 		fig     = flag.String("fig", "all", "figure: all, 1, 7a, 7b, 8a, 8b, sens, color, ablation, multi, scale, skew")
 		quick   = flag.Bool("quick", false, "scaled-down workloads (faster)")
 		workers = flag.Int("workers", 0, "experiment-cell and restart fan-out goroutines (0 = GOMAXPROCS); tables are identical for any value")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	if *cpuProf != "" {
+		pf, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			pf, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
+				os.Exit(1)
+			}
+			defer pf.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(pf); err != nil {
+				fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
 	cfg := harness.Paper()
 	if *quick {
 		cfg = harness.Quick()

@@ -6,13 +6,20 @@
 //
 // Three solvers are provided, mirroring the paper:
 //
-//   - FastColor: the Appendix's Fast_Color — the maximum cardinality of the
-//     intersection between any maximum clique and the pipe's flow set. A
-//     cheap, close lower bound used throughout partitioning (O(K·L)).
+//   - FastColorBits (and the retained map-reference FastColor): the
+//     Appendix's Fast_Color — the maximum cardinality of the intersection
+//     between any maximum clique and the pipe's flow set. A cheap, close
+//     lower bound used throughout partitioning; on the dense flow-ID
+//     representation it is one popcount-of-AND per clique.
 //   - Greedy: DSATUR, a fast upper bound.
 //   - Exact: branch-and-bound chromatic coloring used at finalization
 //     ("formal coloring"), with a node budget that falls back to DSATUR on
 //     pathological instances.
+//
+// The conflict graph stores adjacency as per-vertex bitmask rows
+// (model.BitSet), so edge tests are bit probes and both DSATUR's saturation
+// tracking and the branch-and-bound feasibility checks are word-wise
+// operations instead of map lookups.
 package coloring
 
 import (
@@ -25,10 +32,30 @@ import (
 type ConflictGraph struct {
 	// Flows are the vertices, in sorted order.
 	Flows []model.Flow
-	// adj[i][j] reports an edge between vertices i and j.
-	adj [][]bool
+	// adj[i] is the bitmask row of vertices adjacent to i.
+	adj []model.BitSet
 	// degree caches vertex degrees.
 	degree []int
+}
+
+// newGraph allocates an edgeless graph over the sorted vertex set.
+func newGraph(fs []model.Flow) *ConflictGraph {
+	g := &ConflictGraph{
+		Flows:  fs,
+		adj:    make([]model.BitSet, len(fs)),
+		degree: make([]int, len(fs)),
+	}
+	for i := range g.adj {
+		g.adj[i] = model.NewBitSet(len(fs))
+	}
+	return g
+}
+
+func (g *ConflictGraph) addEdge(i, j int) {
+	g.adj[i].Set(j)
+	g.adj[j].Set(i)
+	g.degree[i]++
+	g.degree[j]++
 }
 
 // BuildConflictGraph constructs the conflict graph over the given flows with
@@ -37,21 +64,33 @@ type ConflictGraph struct {
 func BuildConflictGraph(flows []model.Flow, c model.PairSet) *ConflictGraph {
 	fs := append([]model.Flow(nil), flows...)
 	sort.Slice(fs, func(i, j int) bool { return fs[i].Less(fs[j]) })
-	g := &ConflictGraph{
-		Flows:  fs,
-		adj:    make([][]bool, len(fs)),
-		degree: make([]int, len(fs)),
-	}
-	for i := range g.adj {
-		g.adj[i] = make([]bool, len(fs))
-	}
+	g := newGraph(fs)
 	for i := 0; i < len(fs); i++ {
 		for j := i + 1; j < len(fs); j++ {
 			if c.Has(fs[i], fs[j]) {
-				g.adj[i][j] = true
-				g.adj[j][i] = true
-				g.degree[i]++
-				g.degree[j]++
+				g.addEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// BuildConflictGraphBits constructs the conflict graph for the member flows
+// of a pipe direction directly from dense conflict rows: members selects
+// flow IDs over cm's FlowIndex. Vertices come out in sorted flow order
+// because IDs ascend in Flow.Less order.
+func BuildConflictGraphBits(members model.BitSet, cm *model.ConflictMatrix) *ConflictGraph {
+	ids := members.Elems(nil)
+	fs := make([]model.Flow, len(ids))
+	for i, id := range ids {
+		fs[i] = cm.Index().Flow(id)
+	}
+	g := newGraph(fs)
+	for i := 0; i < len(ids); i++ {
+		row := cm.Row(ids[i])
+		for j := i + 1; j < len(ids); j++ {
+			if row.Has(ids[j]) {
+				g.addEdge(i, j)
 			}
 		}
 	}
@@ -70,7 +109,7 @@ func BuildFromCliques(flows []model.Flow, cliques []model.Clique) *ConflictGraph
 func (g *ConflictGraph) N() int { return len(g.Flows) }
 
 // Edge reports whether vertices i and j conflict.
-func (g *ConflictGraph) Edge(i, j int) bool { return g.adj[i][j] }
+func (g *ConflictGraph) Edge(i, j int) bool { return g.adj[i].Has(j) }
 
 // Edges counts the graph's edges.
 func (g *ConflictGraph) Edges() int {
@@ -85,6 +124,10 @@ func (g *ConflictGraph) Edges() int {
 // direction: the maximum number of flows the set shares with any one clique.
 // Every such shared subset is mutually conflicting, hence a clique of the
 // conflict graph, hence a lower bound on its chromatic number.
+//
+// This is the map-based reference implementation, retained for the
+// equivalence suite and cold callers; the synthesis hot path uses
+// FastColorBits.
 func FastColor(cliques []model.Clique, flows map[model.Flow]bool) int {
 	best := 0
 	for _, c := range cliques {
@@ -95,6 +138,19 @@ func FastColor(cliques []model.Clique, flows map[model.Flow]bool) int {
 			}
 		}
 		if n > best {
+			best = n
+		}
+	}
+	return best
+}
+
+// FastColorBits is Fast_Color on the dense flow-ID representation: the
+// maximum popcount of the AND between the pipe-direction flow set and any
+// clique's membership bitset. All bitsets must share one FlowIndex.
+func FastColorBits(cliqueBits []model.BitSet, flows model.BitSet) int {
+	best := 0
+	for _, cb := range cliqueBits {
+		if n := flows.AndCount(cb); n > best {
 			best = n
 		}
 	}
@@ -124,10 +180,15 @@ func (g *ConflictGraph) Greedy() (int, []int) {
 	for i := range assign {
 		assign[i] = -1
 	}
-	sat := make([]map[int]bool, n)
+	// sat[v] is the set of colors already on v's neighbors; satCount
+	// caches its cardinality for the selection rule.
+	satWords := (n + 63) / 64
+	satAll := make(model.BitSet, n*satWords)
+	sat := make([]model.BitSet, n)
 	for i := range sat {
-		sat[i] = make(map[int]bool)
+		sat[i] = satAll[i*satWords : (i+1)*satWords]
 	}
+	satCount := make([]int, n)
 	colors := 0
 	for done := 0; done < n; done++ {
 		// Pick the uncolored vertex with max saturation, tie-break on
@@ -138,24 +199,25 @@ func (g *ConflictGraph) Greedy() (int, []int) {
 				continue
 			}
 			if best == -1 ||
-				len(sat[v]) > len(sat[best]) ||
-				(len(sat[v]) == len(sat[best]) && g.degree[v] > g.degree[best]) {
+				satCount[v] > satCount[best] ||
+				(satCount[v] == satCount[best] && g.degree[v] > g.degree[best]) {
 				best = v
 			}
 		}
 		c := 0
-		for sat[best][c] {
+		for sat[best].Has(c) {
 			c++
 		}
 		assign[best] = c
 		if c+1 > colors {
 			colors = c + 1
 		}
-		for u := 0; u < n; u++ {
-			if g.adj[best][u] {
-				sat[u][c] = true
+		g.adj[best].ForEach(func(u int) {
+			if !sat[u].Has(c) {
+				sat[u].Set(c)
+				satCount[u]++
 			}
-		}
+		})
 	}
 	return colors, assign
 }
@@ -178,7 +240,7 @@ func (g *ConflictGraph) maxCliqueLowerBound() int {
 			}
 			ok := true
 			for _, u := range clique {
-				if !g.adj[u][v] {
+				if !g.adj[u].Has(v) {
 					ok = false
 					break
 				}
@@ -230,7 +292,13 @@ func (g *ConflictGraph) Exact() (int, []int, bool) {
 		for i := range assign {
 			assign[i] = -1
 		}
-		if ok, exhausted := g.tryColor(order, assign, 0, k, 0, &budget); ok {
+		// colorVerts[c] is the set of vertices currently holding color c,
+		// so feasibility is one word-wise intersection test per color.
+		colorVerts := make([]model.BitSet, k)
+		for c := range colorVerts {
+			colorVerts[c] = model.NewBitSet(n)
+		}
+		if ok, exhausted := g.tryColor(order, assign, colorVerts, 0, k, 0, &budget); ok {
 			return k, assign, true
 		} else if exhausted {
 			return ub, greedyAssign, false
@@ -242,7 +310,7 @@ func (g *ConflictGraph) Exact() (int, []int, bool) {
 // tryColor attempts to color vertices order[pos:] with at most k colors,
 // where maxUsed colors are already in use. Symmetry is broken by allowing a
 // new color only as color maxUsed.
-func (g *ConflictGraph) tryColor(order, assign []int, pos, k, maxUsed int, budget *int) (ok, exhausted bool) {
+func (g *ConflictGraph) tryColor(order, assign []int, colorVerts []model.BitSet, pos, k, maxUsed int, budget *int) (ok, exhausted bool) {
 	if pos == len(order) {
 		return true, false
 	}
@@ -256,28 +324,24 @@ func (g *ConflictGraph) tryColor(order, assign []int, pos, k, maxUsed int, budge
 		limit = k
 	}
 	for c := 0; c < limit; c++ {
-		feasible := true
-		for u := 0; u < len(assign); u++ {
-			if assign[u] == c && g.adj[v][u] {
-				feasible = false
-				break
-			}
-		}
-		if !feasible {
+		if g.adj[v].Intersects(colorVerts[c]) {
 			continue
 		}
 		assign[v] = c
+		colorVerts[c].Set(v)
 		nextMax := maxUsed
 		if c == maxUsed {
 			nextMax++
 		}
-		if done, exh := g.tryColor(order, assign, pos+1, k, nextMax, budget); done {
+		if done, exh := g.tryColor(order, assign, colorVerts, pos+1, k, nextMax, budget); done {
 			return true, false
 		} else if exh {
 			assign[v] = -1
+			colorVerts[c].Clear(v)
 			return false, true
 		}
 		assign[v] = -1
+		colorVerts[c].Clear(v)
 	}
 	return false, false
 }
@@ -289,8 +353,19 @@ type Assignment map[model.Flow]int
 // returns the color count and flow→color assignment.
 func ColorPipeDirection(flows []model.Flow, c model.PairSet) (int, Assignment, bool) {
 	g := BuildConflictGraph(flows, c)
+	return colorGraph(g)
+}
+
+// ColorPipeDirectionBits is ColorPipeDirection on the dense representation:
+// members selects the direction's flow IDs over cm's FlowIndex.
+func ColorPipeDirectionBits(members model.BitSet, cm *model.ConflictMatrix) (int, Assignment, bool) {
+	g := BuildConflictGraphBits(members, cm)
+	return colorGraph(g)
+}
+
+func colorGraph(g *ConflictGraph) (int, Assignment, bool) {
 	k, assign, exact := g.Exact()
-	out := make(Assignment, len(flows))
+	out := make(Assignment, len(g.Flows))
 	for i, f := range g.Flows {
 		out[f] = assign[i]
 	}

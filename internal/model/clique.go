@@ -2,9 +2,8 @@ package model
 
 import (
 	"container/heap"
-	"fmt"
 	"sort"
-	"strings"
+	"strconv"
 )
 
 // Clique is a set of flows that are all simultaneously in flight at some
@@ -68,11 +67,19 @@ func (c Clique) Equal(d Clique) bool {
 
 // Key returns a canonical string key for map deduplication.
 func (c Clique) Key() string {
-	var b strings.Builder
+	return string(c.appendKey(make([]byte, 0, 8*len(c))))
+}
+
+// appendKey appends the canonical key to dst, avoiding fmt and the
+// strings.Builder re-allocations on the ContentionPeriods hot path.
+func (c Clique) appendKey(dst []byte) []byte {
 	for _, f := range c {
-		fmt.Fprintf(&b, "%d>%d;", f.Src, f.Dst)
+		dst = strconv.AppendInt(dst, int64(f.Src), 10)
+		dst = append(dst, '>')
+		dst = strconv.AppendInt(dst, int64(f.Dst), 10)
+		dst = append(dst, ';')
 	}
-	return b.String()
+	return dst
 }
 
 // Intersect returns the flows common to the clique and the given flow set.
@@ -132,10 +139,15 @@ func ContentionPeriods(p *Pattern) []Clique {
 	next := 0 // next message in start order
 	seen := make(map[string]bool)
 	var out []Clique
+	var flows []Flow
+	var keyBuf []byte
+	processed := false // an event with this exact active set was already handled
 	for _, t := range events {
+		changed := false
 		// Retire messages that finished strictly before t.
 		for active.Len() > 0 && p.Messages[active.idx[0]].Finish < t {
 			heap.Pop(active)
+			changed = true
 		}
 		// Admit messages starting at or before t.
 		for next < n && p.Messages[order[next]].Start <= t {
@@ -143,12 +155,19 @@ func ContentionPeriods(p *Pattern) []Clique {
 			next++
 			if p.Messages[mi].Finish >= t {
 				heap.Push(active, mi)
+				changed = true
 			}
 		}
 		if active.Len() == 0 {
 			continue
 		}
-		flows := make([]Flow, 0, active.Len())
+		// Unchanged active set ⇒ identical clique ⇒ the key-dedup below
+		// would drop it anyway; skip the re-sort and key build entirely.
+		if !changed && processed {
+			continue
+		}
+		processed = true
+		flows = flows[:0]
 		for _, mi := range active.idx {
 			flows = append(flows, p.Messages[mi].Flow())
 		}
@@ -156,7 +175,8 @@ func ContentionPeriods(p *Pattern) []Clique {
 		if len(c) == 0 {
 			continue
 		}
-		if k := c.Key(); !seen[k] {
+		keyBuf = c.appendKey(keyBuf[:0])
+		if k := string(keyBuf); !seen[k] {
 			seen[k] = true
 			out = append(out, c)
 		}
@@ -186,27 +206,20 @@ func MaxCliques(cliques []Clique) []Clique {
 		idx[i] = i
 	}
 	sort.SliceStable(idx, func(a, b int) bool { return len(cliques[idx[a]]) > len(cliques[idx[b]]) })
-	var kept []Clique
 	dominated := make([]bool, len(cliques))
 	for pos, i := range idx {
 		c := cliques[i]
-		dom := false
 		for _, j := range idx[:pos] {
 			if dominated[j] {
 				continue
 			}
 			if c.SubsetOf(cliques[j]) {
-				dom = true
+				dominated[i] = true
 				break
 			}
 		}
-		if dom {
-			dominated[i] = true
-		} else {
-			kept = append(kept, nil) // placeholder; fill below in original order
-		}
 	}
-	kept = kept[:0]
+	var kept []Clique
 	for i, c := range cliques {
 		if !dominated[i] {
 			kept = append(kept, c)

@@ -153,6 +153,32 @@ func (t *Table) ConflictSet() model.PairSet {
 	return r
 }
 
+// ConflictMatrix computes R (Definition 7) as dense per-flow conflict rows
+// over the given flow index — the same pairs ConflictSet produces, in the
+// bitset representation the synthesis kernel consumes. Flows absent from the
+// index are ignored.
+func (t *Table) ConflictMatrix(ix *model.FlowIndex) *model.ConflictMatrix {
+	m := model.NewConflictMatrix(ix)
+	users := make(map[Channel][]int)
+	for f, r := range t.Routes {
+		id, ok := ix.ID(f)
+		if !ok {
+			continue
+		}
+		for _, ch := range PathChannels(f, r) {
+			users[ch] = append(users[ch], id)
+		}
+	}
+	for _, ids := range users {
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				m.Add(ids[i], ids[j])
+			}
+		}
+	}
+	return m
+}
+
 // SortedFlows returns the table's flows in deterministic order.
 func (t *Table) SortedFlows() []model.Flow {
 	flows := make([]model.Flow, 0, len(t.Routes))

@@ -1,10 +1,6 @@
 package synth
 
-import (
-	"sort"
-
-	"repro/internal/model"
-)
+import "sort"
 
 // backboneReroute is a restructuring move used when marginal optimization is
 // plateau-locked on degree violations: it proposes an entirely new routing
@@ -107,16 +103,13 @@ func (s *state) backboneReroute() bool {
 	}
 
 	// Snapshot and reroute everything over backbone shortest paths.
-	snapshot := make(map[model.Flow][]int, len(s.routes))
-	for f, r := range s.routes {
-		snapshot[f] = r
-	}
+	snapshot := append([][]int(nil), s.routes...)
 	before := s.globalCost()
 	ok := true
-	for _, f := range s.flows {
+	for fi, f := range s.flows {
 		a, b := s.home[f.Src], s.home[f.Dst]
 		if a == b {
-			s.setRoute(f, []int{a})
+			s.setRoute(fi, []int{a})
 			continue
 		}
 		path := bfsPath(adj, a, b)
@@ -124,14 +117,14 @@ func (s *state) backboneReroute() bool {
 			ok = false
 			break
 		}
-		s.setRoute(f, path)
+		s.setRoute(fi, path)
 	}
 	if ok && s.globalCost() < before {
 		s.stats.Reroutes += len(s.flows)
 		return true
 	}
-	for f, r := range snapshot {
-		s.setRoute(f, r)
+	for fi, r := range snapshot {
+		s.setRoute(fi, r)
 	}
 	return false
 }
@@ -214,15 +207,18 @@ func bfsPath(adj [][]int, a, b int) []int {
 // globalCost evaluates the full weighted objective over every pipe and
 // switch.
 func (s *state) globalCost() int {
-	pairs := make(map[[2]int]bool)
-	for key, set := range s.pipes {
-		if len(set) > 0 {
-			pairs[pairKey(key[0], key[1])] = true
+	n := s.nsw()
+	pairs := make([][2]int, 0, n)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if s.pipeLen(a, b) > 0 || s.pipeLen(b, a) > 0 {
+				pairs = append(pairs, [2]int{a, b})
+			}
 		}
 	}
-	switches := make(map[int]bool, len(s.swProcs))
-	for sw := range s.swProcs {
-		switches[sw] = true
+	switches := make([]int, n)
+	for sw := range switches {
+		switches[sw] = sw
 	}
 	return s.localCost(pairs, switches)
 }

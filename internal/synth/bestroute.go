@@ -1,6 +1,8 @@
 package synth
 
-import "repro/internal/model"
+// group is a flow ID plus optionally its mirrored reverse flow's ID (-1 if
+// the pair is rerouted alone).
+type group [2]int
 
 // bestRoute implements the Appendix's Best_Route procedure, generalized:
 // every flow whose current route touches one of the `touch` switches is
@@ -15,10 +17,11 @@ import "repro/internal/model"
 // then fewer estimated links, then lower congestion load, then fewer hops —
 // are committed. Passes repeat until no route improves.
 func (s *state) bestRoute(touch, via []int) {
+	var candBuf [3]int
 	for pass := 0; pass < 3; pass++ {
 		improved := false
-		for _, f := range s.flows {
-			cur := s.routes[f]
+		for fi := range s.flows {
+			cur := s.routes[fi]
 			touched := false
 			for _, sw := range touch {
 				if routeTouches(cur, sw) {
@@ -29,41 +32,49 @@ func (s *state) bestRoute(touch, via []int) {
 			if !touched {
 				continue
 			}
+			f := s.flows[fi]
 			a, b := s.home[f.Src], s.home[f.Dst]
 			if a == b {
 				continue
 			}
 			// Pair with the mirrored reverse flow when present.
-			group := []model.Flow{f}
-			if rev := f.Reverse(); rev != f {
-				if rr, ok := s.routes[rev]; ok && equalRoute(rr, reversed(cur)) && f.Less(rev) {
-					group = append(group, rev)
-				}
+			g := group{fi, -1}
+			if ri := s.revID[fi]; ri >= 0 && fi < ri && isMirror(s.routes[ri], cur) {
+				g[1] = ri
 			}
 			vias := via
 			if vias == nil {
 				vias = s.trafficNeighbors(a, b)
 			}
-			candidates := [][]int{{a, b}}
-			for _, m := range vias {
-				if m != a && m != b {
-					candidates = append(candidates, []int{a, m, b})
+			bestDelta := 0
+			bestVia := -2 // -1 selects the direct path; -2 = keep current
+			cand := candBuf[:2]
+			cand[0], cand[1] = a, b
+			if !equalRoute(cand, cur) {
+				if delta := s.groupRouteDelta(g, cand); delta < bestDelta {
+					bestDelta, bestVia = delta, -1
 				}
 			}
-			bestDelta := 0
-			var best []int
-			for _, cand := range candidates {
+			for _, m := range vias {
+				if m == a || m == b {
+					continue
+				}
+				cand = candBuf[:3]
+				cand[0], cand[1], cand[2] = a, m, b
 				if equalRoute(cand, cur) {
 					continue
 				}
-				if delta := s.groupRouteDelta(group, cand); delta < bestDelta {
-					bestDelta = delta
-					best = cand
+				if delta := s.groupRouteDelta(g, cand); delta < bestDelta {
+					bestDelta, bestVia = delta, m
 				}
 			}
-			if best != nil {
-				s.applyGroupRoute(group, best)
-				s.stats.Reroutes += len(group)
+			if bestVia != -2 {
+				if bestVia == -1 {
+					s.applyGroupRoute(g, []int{a, b})
+				} else {
+					s.applyGroupRoute(g, []int{a, bestVia, b})
+				}
+				s.stats.Reroutes += groupLen(g)
 				improved = true
 			}
 		}
@@ -73,23 +84,31 @@ func (s *state) bestRoute(touch, via []int) {
 	}
 }
 
+func groupLen(g group) int {
+	if g[1] >= 0 {
+		return 2
+	}
+	return 1
+}
+
 // trafficNeighbors lists switches that currently exchange traffic with a or
-// b, in ascending order.
+// b, in ascending order, reusing the state's scratch buffer.
 func (s *state) trafficNeighbors(a, b int) []int {
-	var out []int
+	out := s.nbrScratch[:0]
 	for m := range s.swProcs {
 		if m == a || m == b {
 			continue
 		}
-		if len(s.pipes[[2]int{a, m}]) > 0 || len(s.pipes[[2]int{m, a}]) > 0 ||
-			len(s.pipes[[2]int{b, m}]) > 0 || len(s.pipes[[2]int{m, b}]) > 0 {
+		if s.pipeLen(a, m) > 0 || s.pipeLen(m, a) > 0 ||
+			s.pipeLen(b, m) > 0 || s.pipeLen(m, b) > 0 {
 			out = append(out, m)
 		}
 	}
+	s.nbrScratch = out
 	return out
 }
 
-// reversed returns the route walked backwards.
+// reversed returns the route walked backwards as a fresh slice.
 func reversed(r []int) []int {
 	out := make([]int, len(r))
 	for i, x := range r {
@@ -98,36 +117,59 @@ func reversed(r []int) []int {
 	return out
 }
 
-// applyGroupRoute routes the first flow of the group along cand and any
-// paired reverse flow along the mirror of cand.
-func (s *state) applyGroupRoute(group []model.Flow, cand []int) {
-	s.setRoute(group[0], cand)
-	if len(group) == 2 {
-		s.setRoute(group[1], reversed(cand))
+// isMirror reports whether a equals b walked backwards.
+func isMirror(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[len(b)-1-i] {
+			return false
+		}
+	}
+	return true
+}
+
+// applyGroupRoute routes the group's first flow along cand and any paired
+// reverse flow along the mirror of cand. cand is copied, so callers may
+// pass scratch.
+func (s *state) applyGroupRoute(g group, cand []int) {
+	s.setRoute(g[0], append([]int(nil), cand...))
+	if g[1] >= 0 {
+		s.setRoute(g[1], reversed(cand))
 	}
 }
 
 // groupRouteDelta measures the cost change of rerouting a flow (and its
 // mirrored reverse, if grouped) onto cand, restoring state before returning.
-func (s *state) groupRouteDelta(group []model.Flow, cand []int) int {
-	olds := make([][]int, len(group))
-	affected := make(map[[2]int]bool)
-	for gi, f := range group {
-		olds[gi] = s.routes[f]
-		for i := 1; i < len(olds[gi]); i++ {
-			affected[pairKey(olds[gi][i-1], olds[gi][i])] = true
+// cand is not retained; scratch buffers back both the affected-pair set and
+// the transient mirror route.
+func (s *state) groupRouteDelta(g group, cand []int) int {
+	old0 := s.routes[g[0]]
+	var old1 []int
+	pairs := addRoutePairs(s.pairScratch[:0], old0)
+	if g[1] >= 0 {
+		old1 = s.routes[g[1]]
+		pairs = addRoutePairs(pairs, old1)
+	}
+	pairs = addRoutePairs(pairs, cand)
+	sws := s.switchesOf(pairs)
+	before := s.localCost(pairs, sws)
+	s.setRoute(g[0], cand)
+	if g[1] >= 0 {
+		rev := s.revScratch[:0]
+		for i := len(cand) - 1; i >= 0; i-- {
+			rev = append(rev, cand[i])
 		}
+		s.revScratch = rev
+		s.setRoute(g[1], rev)
 	}
-	for i := 1; i < len(cand); i++ {
-		affected[pairKey(cand[i-1], cand[i])] = true
+	after := s.localCost(pairs, sws)
+	s.setRoute(g[0], old0)
+	if g[1] >= 0 {
+		s.setRoute(g[1], old1)
 	}
-	sws := switchesOfPairs(affected)
-	before := s.localCost(affected, sws)
-	s.applyGroupRoute(group, cand)
-	after := s.localCost(affected, sws)
-	for gi, f := range group {
-		s.setRoute(f, olds[gi])
-	}
+	s.pairScratch = pairs[:0]
 	return after - before
 }
 
@@ -146,24 +188,33 @@ func (s *state) eliminatePipes() bool {
 			if other == sw {
 				continue
 			}
-			var flows []model.Flow
-			for f := range s.pipes[[2]int{sw, other}] {
-				flows = append(flows, f)
+			// Union of both directions' flows, in ascending flow order
+			// (IDs ascend in Flow.Less order).
+			fwd, bwd := s.pipeAt(sw, other), s.pipeAt(other, sw)
+			ids := s.idScratch[:0]
+			if fwd != nil {
+				ids = fwd.Elems(ids)
 			}
-			for f := range s.pipes[[2]int{other, sw}] {
-				if !s.pipes[[2]int{sw, other}][f] {
-					flows = append(flows, f)
+			if bwd != nil {
+				n := len(ids)
+				bwd.ForEach(func(fi int) {
+					if fwd == nil || !fwd.Has(fi) {
+						ids = append(ids, fi)
+					}
+				})
+				if n > 0 && len(ids) > n {
+					ids = mergeSortedInts(ids, n)
 				}
 			}
-			if len(flows) == 0 {
+			s.idScratch = ids
+			if len(ids) == 0 {
 				continue
 			}
-			sortFlows(flows)
 			for m := -1; m < len(s.swProcs); m++ {
 				if m == sw || m == other {
 					continue
 				}
-				if s.tryPipeElimination(flows, sw, other, m) {
+				if s.tryPipeElimination(ids, sw, other, m) {
 					changed = true
 					break
 				}
@@ -173,15 +224,26 @@ func (s *state) eliminatePipes() bool {
 	return changed
 }
 
+// mergeSortedInts merges the two sorted runs ids[:n] and ids[n:] in place.
+func mergeSortedInts(ids []int, n int) []int {
+	for i := n; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	return ids
+}
+
 // tryPipeElimination reroutes every flow crossing pipe (a,b): directly when
 // the direct path avoids the pipe, otherwise via intermediate m (m == -1
 // allows only direct replacements). The batch is kept only if the weighted
 // objective improves.
-func (s *state) tryPipeElimination(flows []model.Flow, a, b, m int) bool {
-	olds := make([][]int, len(flows))
-	news := make([][]int, len(flows))
-	for i, f := range flows {
-		olds[i] = s.routes[f]
+func (s *state) tryPipeElimination(ids []int, a, b, m int) bool {
+	olds := make([][]int, len(ids))
+	news := make([][]int, len(ids))
+	for i, fi := range ids {
+		olds[i] = s.routes[fi]
+		f := s.flows[fi]
 		ha, hb := s.home[f.Src], s.home[f.Dst]
 		switch {
 		case pairKey(ha, hb) != pairKey(a, b):
@@ -192,36 +254,26 @@ func (s *state) tryPipeElimination(flows []model.Flow, a, b, m int) bool {
 			return false // this flow cannot leave the pipe
 		}
 	}
-	affected := make(map[[2]int]bool)
-	for i := range flows {
-		for _, r := range [][]int{olds[i], news[i]} {
-			for h := 1; h < len(r); h++ {
-				affected[pairKey(r[h-1], r[h])] = true
-			}
-		}
+	pairs := s.pairScratch[:0]
+	for i := range ids {
+		pairs = addRoutePairs(pairs, olds[i])
+		pairs = addRoutePairs(pairs, news[i])
 	}
-	sws := switchesOfPairs(affected)
-	before := s.localCost(affected, sws)
-	for i, f := range flows {
-		s.setRoute(f, news[i])
+	sws := s.switchesOf(pairs)
+	before := s.localCost(pairs, sws)
+	for i, fi := range ids {
+		s.setRoute(fi, news[i])
 	}
-	after := s.localCost(affected, sws)
+	after := s.localCost(pairs, sws)
+	s.pairScratch = pairs[:0]
 	if after < before {
-		s.stats.Reroutes += len(flows)
+		s.stats.Reroutes += len(ids)
 		return true
 	}
-	for i, f := range flows {
-		s.setRoute(f, olds[i])
+	for i, fi := range ids {
+		s.setRoute(fi, olds[i])
 	}
 	return false
-}
-
-func sortFlows(fs []model.Flow) {
-	for i := 1; i < len(fs); i++ {
-		for j := i; j > 0 && fs[j].Less(fs[j-1]); j-- {
-			fs[j], fs[j-1] = fs[j-1], fs[j]
-		}
-	}
 }
 
 func equalRoute(a, b []int) bool {

@@ -20,27 +20,21 @@ const (
 )
 
 // dirStats computes, for one pipe direction, the Fast_Color width bound and
-// the quadratic clique load.
+// the quadratic clique load: per clique, the popcount of the AND between the
+// pipe's flow set and the clique's membership bitset.
 func (s *state) dirStats(from, to int) (width, quad int) {
-	set := s.pipes[[2]int{from, to}]
-	if len(set) == 0 {
+	pi := from*s.stride + to
+	if s.pipeCount[pi] == 0 {
 		return 0, 0
 	}
-	var touched []int
-	for f := range set {
-		for _, ci := range s.flowCliques[f] {
-			s.cliqueCount[ci]++
-			if s.cliqueCount[ci] == 1 {
-				touched = append(touched, ci)
+	set := s.pipes[pi]
+	for _, cb := range s.cliqueBits {
+		if n := set.AndCount(cb); n > 0 {
+			if n > width {
+				width = n
 			}
-			if s.cliqueCount[ci] > width {
-				width = s.cliqueCount[ci]
-			}
+			quad += n * n
 		}
-	}
-	for _, ci := range touched {
-		quad += s.cliqueCount[ci] * s.cliqueCount[ci]
-		s.cliqueCount[ci] = 0
 	}
 	return width, quad
 }
@@ -53,17 +47,17 @@ func (s *state) fastColorDir(from, to int) int {
 
 // estWidth estimates a pipe's link count: the max of the two directions'
 // fast-color bounds (full-duplex links, Section 3.1). Results are memoized
-// until a route touching the pipe changes.
+// in the dense widthCache until a route touching the pipe changes.
 func (s *state) estWidth(a, b int) int {
-	key := pairKey(a, b)
-	if w, ok := s.widthCache[key]; ok {
-		return w
+	wi := s.widthIdx(a, b)
+	if w := s.widthCache[wi]; w >= 0 {
+		return int(w)
 	}
 	w := s.fastColorDir(a, b)
 	if bk := s.fastColorDir(b, a); bk > w {
 		w = bk
 	}
-	s.widthCache[key] = w
+	s.widthCache[wi] = int32(w)
 	return w
 }
 
@@ -80,9 +74,9 @@ func (s *state) estDegree(sw int) int {
 
 // penaltyOf sums constraint violations over a set of switches: degree excess
 // plus processor-count excess.
-func (s *state) penaltyOf(switches map[int]bool) int {
+func (s *state) penaltyOf(switches []int) int {
 	total := 0
-	for sw := range switches {
+	for _, sw := range switches {
 		if d := s.estDegree(sw); d > s.opt.MaxDegree {
 			total += d - s.opt.MaxDegree
 		}
@@ -93,26 +87,13 @@ func (s *state) penaltyOf(switches map[int]bool) int {
 	return total
 }
 
-// switchesOfPairs collects the endpoints of a pipe set plus any extras.
-func switchesOfPairs(pairs map[[2]int]bool, extra ...int) map[int]bool {
-	out := make(map[int]bool, 2*len(pairs)+len(extra))
-	for p := range pairs {
-		out[p[0]] = true
-		out[p[1]] = true
-	}
-	for _, sw := range extra {
-		out[sw] = true
-	}
-	return out
-}
-
 // localCost evaluates the weighted objective restricted to the given pipes
 // and switches. Comparing localCost before and after a tentative change
 // yields the global cost delta, because contributions outside the affected
 // sets are unchanged.
-func (s *state) localCost(pairs map[[2]int]bool, switches map[int]bool) int {
+func (s *state) localCost(pairs [][2]int, switches []int) int {
 	links, quad := 0, 0
-	for p := range pairs {
+	for _, p := range pairs {
 		wf, qf := s.dirStats(p[0], p[1])
 		wb, qb := s.dirStats(p[1], p[0])
 		if wb > wf {
@@ -129,16 +110,12 @@ func (s *state) localCost(pairs map[[2]int]bool, switches map[int]bool) int {
 
 // totalLinks sums estimated widths over all pipes with traffic.
 func (s *state) totalLinks() int {
-	seen := make(map[[2]int]bool)
 	total := 0
-	for key, set := range s.pipes {
-		if len(set) == 0 {
-			continue
-		}
-		k := pairKey(key[0], key[1])
-		if !seen[k] {
-			seen[k] = true
-			total += s.estWidth(k[0], k[1])
+	for a := 0; a < s.nsw(); a++ {
+		for b := a + 1; b < s.nsw(); b++ {
+			if s.pipeLen(a, b) > 0 || s.pipeLen(b, a) > 0 {
+				total += s.estWidth(a, b)
+			}
 		}
 	}
 	return total

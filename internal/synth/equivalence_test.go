@@ -1,0 +1,176 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/coloring"
+	"repro/internal/model"
+	"repro/internal/nas"
+)
+
+// The dense flow-ID bitset kernel must be observationally equivalent to the
+// retained map-based reference implementations on every operation the
+// synthesis consumes: Fast_Color, the C ∩ R intersection, Theorem 1's
+// contention-free verdict, and the per-direction width/quad statistics.
+// Randomized routing states over all five NAS benchmarks exercise the
+// kernel far beyond the hand-built unit fixtures.
+
+// randomPairSets draws the same random pair population into both
+// representations.
+func randomPairSets(rng *rand.Rand, ix *model.FlowIndex, density float64) (model.PairSet, *model.ConflictMatrix) {
+	ps := model.NewPairSet()
+	cm := model.NewConflictMatrix(ix)
+	n := ix.Len()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < density {
+				ps.Add(ix.Flow(i), ix.Flow(j))
+				cm.Add(i, j)
+			}
+		}
+	}
+	return ps, cm
+}
+
+func TestKernelEquivalenceNAS(t *testing.T) {
+	for _, name := range nas.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			pat, err := nas.Generate(name, 16, nas.Config{Iterations: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cliques := model.MaxCliqueSet(pat)
+			ix := model.NewFlowIndex(pat.Flows())
+			cliqueBits := ix.CliqueBits(cliques)
+			cSet := model.ContentionSetFromCliques(cliques)
+			cMat := model.ConflictMatrixFromCliques(ix, cliques)
+			rng := rand.New(rand.NewSource(int64(len(name)) * 1009))
+
+			// Fast_Color on random flow subsets.
+			for trial := 0; trial < 50; trial++ {
+				sub := map[model.Flow]bool{}
+				bits := model.NewBitSet(ix.Len())
+				for i := 0; i < ix.Len(); i++ {
+					if rng.Intn(3) == 0 {
+						sub[ix.Flow(i)] = true
+						bits.Set(i)
+					}
+				}
+				want := coloring.FastColor(cliques, sub)
+				if got := coloring.FastColorBits(cliqueBits, bits); got != want {
+					t.Fatalf("trial %d: FastColorBits = %d, FastColor = %d", trial, got, want)
+				}
+			}
+
+			// Intersect and ContentionFree against random R populations,
+			// including witness identity and order.
+			for trial := 0; trial < 20; trial++ {
+				rSet, rMat := randomPairSets(rng, ix, 0.02)
+				wantPairs := cSet.Intersect(rSet)
+				gotPairs := cMat.Intersect(rMat)
+				if len(wantPairs) != len(gotPairs) {
+					t.Fatalf("trial %d: Intersect sizes %d vs %d", trial, len(gotPairs), len(wantPairs))
+				}
+				for i := range wantPairs {
+					if wantPairs[i] != gotPairs[i] {
+						t.Fatalf("trial %d: Intersect[%d] = %v, want %v", trial, i, gotPairs[i], wantPairs[i])
+					}
+				}
+				wantFree, wantWit := model.ContentionFree(cSet, rSet)
+				gotFree, gotWit := model.ContentionFreeBits(cMat, rMat)
+				if wantFree != gotFree || len(wantWit) != len(gotWit) {
+					t.Fatalf("trial %d: ContentionFreeBits = (%v, %d wit), want (%v, %d wit)",
+						trial, gotFree, len(gotWit), wantFree, len(wantWit))
+				}
+				for i := range wantWit {
+					if wantWit[i] != gotWit[i] {
+						t.Fatalf("trial %d: witness[%d] = %v, want %v", trial, i, gotWit[i], wantWit[i])
+					}
+				}
+			}
+
+			// dirStats width/quad on randomized routing states.
+			s := newState(pat, cliques, Options{Seed: 7}.normalized(), 7, &Stats{})
+			for op := 0; op < 120; op++ {
+				switch rng.Intn(3) {
+				case 0:
+					var eligible []int
+					for sw, procs := range s.swProcs {
+						if len(procs) >= 2 {
+							eligible = append(eligible, sw)
+						}
+					}
+					if len(eligible) > 0 && len(s.swProcs) < 8 {
+						s.split(eligible[rng.Intn(len(eligible))])
+					}
+				case 1:
+					p := rng.Intn(pat.Procs)
+					to := rng.Intn(len(s.swProcs))
+					if to != s.home[p] {
+						s.reattach(p, to)
+					}
+				case 2:
+					fi := rng.Intn(len(s.flows))
+					f := s.flows[fi]
+					a, b := s.home[f.Src], s.home[f.Dst]
+					if a == b {
+						continue
+					}
+					m := rng.Intn(len(s.swProcs))
+					if m != a && m != b {
+						s.setRoute(fi, []int{a, m, b})
+					} else {
+						s.setRoute(fi, []int{a, b})
+					}
+				}
+				if op%10 != 0 {
+					continue
+				}
+				for from := 0; from < s.nsw(); from++ {
+					for to := 0; to < s.nsw(); to++ {
+						if from == to {
+							continue
+						}
+						wantW, wantQ := dirStatsReference(s, cliques, from, to)
+						gotW, gotQ := s.dirStats(from, to)
+						if gotW != wantW || gotQ != wantQ {
+							t.Fatalf("op %d pipe (%d,%d): dirStats = (%d,%d), reference = (%d,%d)",
+								op, from, to, gotW, gotQ, wantW, wantQ)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// dirStatsReference recomputes one direction's width/quad the way the
+// pre-kernel implementation did: count, per clique, its members whose route
+// crosses the (from,to) hop.
+func dirStatsReference(s *state, cliques []model.Clique, from, to int) (width, quad int) {
+	onPipe := map[model.Flow]bool{}
+	for fi, r := range s.routes {
+		for i := 1; i < len(r); i++ {
+			if r[i-1] == from && r[i] == to {
+				onPipe[s.flows[fi]] = true
+			}
+		}
+	}
+	for _, c := range cliques {
+		n := 0
+		for _, f := range c {
+			if onPipe[f] {
+				n++
+			}
+		}
+		if n > 0 {
+			if n > width {
+				width = n
+			}
+			quad += n * n
+		}
+	}
+	return width, quad
+}

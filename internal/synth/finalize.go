@@ -71,38 +71,38 @@ func (s *state) finalize(name string) (*topology.Network, *routing.Table, []int,
 		net.AttachProc(p, remap[s.home[p]])
 	}
 
-	// Formal coloring per pipe direction.
+	// Formal coloring per pipe direction, iterating the dense pipe matrix in
+	// ascending (from, to) order. Vertices reach the colorers in sorted flow
+	// order because flow IDs ascend in Flow.Less order.
 	allExact := true
 	assignments := make(map[[2]int]dirAssignment) // ordered (from,to)
 	widths := make(map[[2]int]int)                // unordered pair
-	for key, set := range s.pipes {
-		if len(set) == 0 {
-			continue
-		}
-		flows := make([]model.Flow, 0, len(set))
-		for f := range set {
-			flows = append(flows, f)
-		}
-		sort.Slice(flows, func(i, j int) bool { return flows[i].Less(flows[j]) })
-		var k int
-		var assign coloring.Assignment
-		if s.opt.GreedyFinalColoring {
-			g := coloring.BuildConflictGraph(flows, s.contention)
-			var raw []int
-			k, raw = g.Greedy()
-			assign = make(coloring.Assignment, len(flows))
-			for i, f := range g.Flows {
-				assign[f] = raw[i]
+	for from := 0; from < s.nsw(); from++ {
+		for to := 0; to < s.nsw(); to++ {
+			if from == to || s.pipeLen(from, to) == 0 {
+				continue
 			}
-		} else {
-			var exact bool
-			k, assign, exact = coloring.ColorPipeDirection(flows, s.contention)
-			allExact = allExact && exact
-		}
-		assignments[key] = dirAssignment{colors: k, assign: assign}
-		pk := pairKey(key[0], key[1])
-		if k > widths[pk] {
-			widths[pk] = k
+			set := s.pipeAt(from, to)
+			var k int
+			var assign coloring.Assignment
+			if s.opt.GreedyFinalColoring {
+				g := coloring.BuildConflictGraphBits(set, s.conflict)
+				var raw []int
+				k, raw = g.Greedy()
+				assign = make(coloring.Assignment, len(g.Flows))
+				for i, f := range g.Flows {
+					assign[f] = raw[i]
+				}
+			} else {
+				var exact bool
+				k, assign, exact = coloring.ColorPipeDirectionBits(set, s.conflict)
+				allExact = allExact && exact
+			}
+			assignments[[2]int{from, to}] = dirAssignment{colors: k, assign: assign}
+			pk := pairKey(from, to)
+			if k > widths[pk] {
+				widths[pk] = k
+			}
 		}
 	}
 	// Deterministic pipe order: downstream consumers (serialization, the
@@ -138,8 +138,8 @@ func (s *state) finalize(name string) (*topology.Network, *routing.Table, []int,
 
 	// Routing table with per-hop link assignments.
 	table := routing.NewTable(net)
-	for _, f := range s.flows {
-		r := s.routes[f]
+	for fi, f := range s.flows {
+		r := s.routes[fi]
 		route := routing.Route{Switches: make([]topology.SwitchID, len(r))}
 		for i, sw := range r {
 			route.Switches[i] = remap[sw]
@@ -374,7 +374,7 @@ func synthesizeOnce(p *model.Pattern, cliques []model.Clique, opt Options, seed 
 		ExactColoring:  exact,
 		Stats:          *stats,
 	}
-	free, wit := model.ContentionFree(model.ContentionSetFromCliques(cliques), table.ConflictSet())
+	free, wit := model.ContentionFreeBits(s.conflict, table.ConflictMatrix(s.idx))
 	res.ContentionFree = free
 	res.Witnesses = wit
 	return res, nil

@@ -1,7 +1,5 @@
 package synth
 
-import "repro/internal/model"
-
 // costSwitchWeight prices one switch relative to links when deciding whether
 // to consolidate two switches. The paper's floorplan model gives a 5-port
 // switch roughly the area of a couple of tile-crossing links, and its
@@ -16,10 +14,12 @@ func (s *state) liveSwitches() int {
 			live[sw] = true
 		}
 	}
-	for key, set := range s.pipes {
-		if len(set) > 0 {
-			live[key[0]] = true
-			live[key[1]] = true
+	for a := range s.swProcs {
+		for b := range s.swProcs {
+			if a != b && s.pipeLen(a, b) > 0 {
+				live[a] = true
+				live[b] = true
+			}
 		}
 	}
 	n := 0
@@ -40,18 +40,14 @@ func (s *state) consolidationScore() int {
 // stateSnapshot captures processor placement and all routes for rollback.
 type stateSnapshot struct {
 	home   []int
-	routes map[model.Flow][]int
+	routes [][]int
 }
 
 func (s *state) snapshot() stateSnapshot {
-	snap := stateSnapshot{
+	return stateSnapshot{
 		home:   append([]int(nil), s.home...),
-		routes: make(map[model.Flow][]int, len(s.routes)),
+		routes: append([][]int(nil), s.routes...),
 	}
-	for f, r := range s.routes {
-		snap.routes[f] = r
-	}
-	return snap
 }
 
 func (s *state) restore(snap stateSnapshot) {
@@ -60,8 +56,8 @@ func (s *state) restore(snap stateSnapshot) {
 			s.reattachNoReroute(p, sw)
 		}
 	}
-	for f, r := range snap.routes {
-		s.setRoute(f, r)
+	for fi, r := range snap.routes {
+		s.setRoute(fi, r)
 	}
 }
 

@@ -1,7 +1,5 @@
 package synth
 
-import "repro/internal/model"
-
 // rerouteAnneal is the escape hatch for plateau-locked violations: while
 // some switch still exceeds its degree budget, randomly chosen exchange
 // groups are rerouted through random intermediates, accepting any
@@ -14,32 +12,34 @@ func (s *state) rerouteAnneal(budget int) {
 	if s.opt.DisableBestRoute {
 		return
 	}
+	var candBuf [3]int
 	for step := 0; step < budget; step++ {
 		if !s.anyViolation() {
 			return
 		}
-		f := s.flows[s.rng.Intn(len(s.flows))]
+		fi := s.rng.Intn(len(s.flows))
+		f := s.flows[fi]
 		a, b := s.home[f.Src], s.home[f.Dst]
 		if a == b {
 			continue
 		}
-		group := []model.Flow{f}
-		if rev := f.Reverse(); rev != f {
-			if rr, ok := s.routes[rev]; ok && equalRoute(rr, reversed(s.routes[f])) {
-				group = append(group, rev)
-			}
+		g := group{fi, -1}
+		if ri := s.revID[fi]; ri >= 0 && isMirror(s.routes[ri], s.routes[fi]) {
+			g[1] = ri
 		}
 		m := s.rng.Intn(len(s.swProcs))
 		var cand []int
 		if m == a || m == b {
-			cand = []int{a, b} // fall back to the direct path
+			cand = candBuf[:2] // fall back to the direct path
+			cand[0], cand[1] = a, b
 		} else {
-			cand = []int{a, m, b}
+			cand = candBuf[:3]
+			cand[0], cand[1], cand[2] = a, m, b
 		}
-		if equalRoute(cand, s.routes[f]) {
+		if equalRoute(cand, s.routes[fi]) {
 			continue
 		}
-		delta := s.groupRouteDelta(group, cand)
+		delta := s.groupRouteDelta(g, cand)
 		// Accept improvements and plateaus; accept small regressions
 		// in the first quarter of the budget.
 		limit := 0
@@ -47,8 +47,8 @@ func (s *state) rerouteAnneal(budget int) {
 			limit = costQuadWeight * 4
 		}
 		if delta <= limit {
-			s.applyGroupRoute(group, cand)
-			s.stats.Reroutes += len(group)
+			s.applyGroupRoute(g, cand)
+			s.stats.Reroutes += groupLen(g)
 			if delta < 0 {
 				s.stats.MovesCommitted++
 			}
@@ -56,19 +56,17 @@ func (s *state) rerouteAnneal(budget int) {
 	}
 }
 
-// swapProcs exchanges the homes of two processors, rerouting both proc's
+// trySwap exchanges the homes of two processors, rerouting both procs'
 // flows directly, and reports the cost delta with an undo closure.
 func (s *state) trySwap(p, q int) (int, func()) {
 	sp, sq := s.home[p], s.home[q]
 	var undos []routeUndo
-	affected := make(map[[2]int]bool)
+	pairs := s.pairScratch[:0]
 	record := func(proc int) {
-		for _, f := range s.procFlows[proc] {
-			r := s.routes[f]
-			undos = append(undos, routeUndo{flow: f, route: r})
-			for i := 1; i < len(r); i++ {
-				affected[pairKey(r[i-1], r[i])] = true
-			}
+		for _, fi := range s.procFlows[proc] {
+			r := s.routes[fi]
+			undos = append(undos, routeUndo{fi: fi, route: r})
+			pairs = addRoutePairs(pairs, r)
 		}
 	}
 	record(p)
@@ -76,42 +74,47 @@ func (s *state) trySwap(p, q int) (int, func()) {
 	s.reattachNoReroute(p, sq)
 	s.reattachNoReroute(q, sp)
 	redirect := func(proc int) {
-		for _, f := range s.procFlows[proc] {
-			s.setRoute(f, s.directRoute(f))
+		for _, fi := range s.procFlows[proc] {
+			s.setRoute(fi, s.directRoute(fi))
 		}
 	}
 	redirect(p)
 	redirect(q)
 	for _, proc := range []int{p, q} {
-		for _, f := range s.procFlows[proc] {
-			r := s.routes[f]
-			for i := 1; i < len(r); i++ {
-				affected[pairKey(r[i-1], r[i])] = true
-			}
+		for _, fi := range s.procFlows[proc] {
+			pairs = addRoutePairs(pairs, s.routes[fi])
 		}
 	}
-	sws := switchesOfPairs(affected, sp, sq)
-	after := s.localCost(affected, sws)
+	sws := s.switchesOf(pairs, sp, sq)
+	after := s.localCost(pairs, sws)
 	undo := func() {
 		s.reattachNoReroute(p, sp)
 		s.reattachNoReroute(q, sq)
-		seen := make(map[model.Flow]bool)
+		// A flow touching both p and q is recorded twice with the same
+		// pre-swap route; restore each flow once.
 		for i := len(undos) - 1; i >= 0; i-- {
 			u := undos[i]
-			if seen[u.flow] {
+			dup := false
+			for j := i + 1; j < len(undos); j++ {
+				if undos[j].fi == u.fi {
+					dup = true
+					break
+				}
+			}
+			if dup {
 				continue
 			}
-			seen[u.flow] = true
-			s.setRoute(u.flow, u.route)
+			s.setRoute(u.fi, u.route)
 		}
 	}
 	undo()
-	before := s.localCost(affected, sws)
+	before := s.localCost(pairs, sws)
 	// Reapply.
 	s.reattachNoReroute(p, sq)
 	s.reattachNoReroute(q, sp)
 	redirect(p)
 	redirect(q)
+	s.pairScratch = pairs[:0]
 	s.stats.MovesEvaluated++
 	return after - before, undo
 }

@@ -16,6 +16,22 @@ func testState(t *testing.T, procs int, phases []trace.PhaseSpec, seed int64) *s
 	return newState(p, cliques, Options{Seed: seed}.normalized(), seed, &Stats{})
 }
 
+// fid resolves a flow to its dense ID, failing the test if it is unknown.
+func fid(t *testing.T, s *state, f model.Flow) int {
+	t.Helper()
+	id, ok := s.idx.ID(f)
+	if !ok {
+		t.Fatalf("flow %v not interned", f)
+	}
+	return id
+}
+
+// pipeHasFlow reports whether flow ID fi rides the (from,to) pipe direction.
+func pipeHasFlow(s *state, from, to, fi int) bool {
+	set := s.pipeAt(from, to)
+	return set != nil && set.Has(fi)
+}
+
 func pairPhases() []trace.PhaseSpec {
 	return []trace.PhaseSpec{
 		{Flows: []model.Flow{model.F(0, 1), model.F(2, 3), model.F(4, 5)}, Bytes: 64},
@@ -28,8 +44,8 @@ func TestNewStateInitial(t *testing.T) {
 	if len(s.swProcs) != 1 || len(s.swProcs[0]) != 6 {
 		t.Fatalf("initial partition: %v", s.swProcs)
 	}
-	for _, f := range s.flows {
-		r := s.routes[f]
+	for fi, f := range s.flows {
+		r := s.routes[fi]
 		if len(r) != 1 || r[0] != 0 {
 			t.Fatalf("flow %v initial route %v", f, r)
 		}
@@ -48,16 +64,16 @@ func TestSetRouteMaintainsPipes(t *testing.T) {
 	for p := 0; p < 6; p++ {
 		s.home[p] = p / 3
 	}
-	f := model.F(2, 3)
-	s.setRoute(f, []int{0, 1})
-	if !s.pipes[[2]int{0, 1}][f] {
+	fi := fid(t, s, model.F(2, 3))
+	s.setRoute(fi, []int{0, 1})
+	if !pipeHasFlow(s, 0, 1, fi) {
 		t.Fatal("pipe set not updated")
 	}
 	if s.totalHops != 1 {
 		t.Fatalf("hops = %d", s.totalHops)
 	}
-	s.setRoute(f, []int{0})
-	if s.pipes[[2]int{0, 1}][f] {
+	s.setRoute(fi, []int{0})
+	if pipeHasFlow(s, 0, 1, fi) {
 		t.Fatal("old pipe entry not removed")
 	}
 	if s.totalHops != 0 {
@@ -76,8 +92,8 @@ func TestFastColorDirCountsCliqueOverlap(t *testing.T) {
 	}
 	// Phase 1 flows (0,1),(2,3),(4,5) all cross 0->1: same period =>
 	// width 3. Phase 2 flows (1,2),(3,4),(5,0) all cross 1->0.
-	for _, f := range s.flows {
-		s.setRoute(f, s.directRoute(f))
+	for fi := range s.flows {
+		s.setRoute(fi, s.directRoute(fi))
 	}
 	if got := s.fastColorDir(0, 1); got != 3 {
 		t.Fatalf("fastColorDir(0,1) = %d, want 3", got)
@@ -115,8 +131,9 @@ func TestReattachReroutesTouchedFlows(t *testing.T) {
 	if s.home[p] != target {
 		t.Fatalf("home not updated")
 	}
-	for _, f := range s.procFlows[p] {
-		r := s.routes[f]
+	for _, fi := range s.procFlows[p] {
+		r := s.routes[fi]
+		f := s.flows[fi]
 		if r[0] != s.home[f.Src] || r[len(r)-1] != s.home[f.Dst] {
 			t.Fatalf("flow %v route %v inconsistent with homes", f, r)
 		}
@@ -160,8 +177,8 @@ func TestSnapshotRestore(t *testing.T) {
 	before := snapshotFull(s)
 	// Mutate heavily.
 	s.reattach(s.swProcs[0][0], 1)
-	for _, f := range s.flows {
-		s.setRoute(f, s.directRoute(f))
+	for fi := range s.flows {
+		s.setRoute(fi, s.directRoute(fi))
 	}
 	s.restore(snap)
 	after := snapshotFull(s)
@@ -175,12 +192,12 @@ func TestRouteDeltaIsNeutralOnRestore(t *testing.T) {
 	s := testState(t, 6, pairPhases(), 9)
 	s.split(0)
 	before := snapshotFull(s)
-	for _, f := range s.flows {
+	for fi, f := range s.flows {
 		a, b := s.home[f.Src], s.home[f.Dst]
 		if a == b {
 			continue
 		}
-		s.groupRouteDelta([]model.Flow{f}, []int{a, b})
+		s.groupRouteDelta(group{fi, -1}, []int{a, b})
 	}
 	if !equalSnapshots(before, snapshotFull(s)) {
 		t.Fatal("routeDelta mutated state")
@@ -233,14 +250,14 @@ func checkStateInvariants(t *testing.T, s *state) {
 	}
 	// Routes match homes and pipes match routes.
 	hops := 0
-	for _, f := range s.flows {
-		r := s.routes[f]
+	for fi, f := range s.flows {
+		r := s.routes[fi]
 		if r[0] != s.home[f.Src] || r[len(r)-1] != s.home[f.Dst] {
 			t.Fatalf("flow %v route %v vs homes %d->%d", f, r, s.home[f.Src], s.home[f.Dst])
 		}
 		hops += len(r) - 1
 		for i := 1; i < len(r); i++ {
-			if !s.pipes[[2]int{r[i-1], r[i]}][f] {
+			if !pipeHasFlow(s, r[i-1], r[i], fi) {
 				t.Fatalf("flow %v hop %d missing from pipe set", f, i)
 			}
 		}
@@ -248,19 +265,31 @@ func checkStateInvariants(t *testing.T, s *state) {
 	if hops != s.totalHops {
 		t.Fatalf("totalHops %d, recomputed %d", s.totalHops, hops)
 	}
-	// No stale pipe entries.
-	for key, set := range s.pipes {
-		for f := range set {
-			r := s.routes[f]
-			found := false
-			for i := 1; i < len(r); i++ {
-				if r[i-1] == key[0] && r[i] == key[1] {
-					found = true
+	// No stale pipe entries, and cached counts match set cardinalities.
+	for a := 0; a < s.nsw(); a++ {
+		for b := 0; b < s.nsw(); b++ {
+			if a == b {
+				continue
+			}
+			set := s.pipeAt(a, b)
+			if set == nil {
+				continue
+			}
+			if got := set.Count(); got != s.pipeLen(a, b) {
+				t.Fatalf("pipe (%d,%d) count cache %d, set has %d", a, b, s.pipeLen(a, b), got)
+			}
+			set.ForEach(func(fi int) {
+				r := s.routes[fi]
+				found := false
+				for i := 1; i < len(r); i++ {
+					if r[i-1] == a && r[i] == b {
+						found = true
+					}
 				}
-			}
-			if !found {
-				t.Fatalf("stale pipe entry %v for flow %v (route %v)", key, f, r)
-			}
+				if !found {
+					t.Fatalf("stale pipe entry (%d,%d) for flow %v (route %v)", a, b, s.flows[fi], r)
+				}
+			})
 		}
 	}
 }
@@ -268,21 +297,21 @@ func checkStateInvariants(t *testing.T, s *state) {
 type fullSnapshot struct {
 	home  []int
 	hops  int
-	route map[model.Flow]string
+	route []string
 }
 
 func snapshotFull(s *state) fullSnapshot {
 	snap := fullSnapshot{
 		home:  append([]int(nil), s.home...),
 		hops:  s.totalHops,
-		route: make(map[model.Flow]string),
+		route: make([]string, len(s.routes)),
 	}
-	for f, r := range s.routes {
+	for fi, r := range s.routes {
 		key := ""
 		for _, sw := range r {
 			key += string(rune('A' + sw))
 		}
-		snap.route[f] = key
+		snap.route[fi] = key
 	}
 	return snap
 }
@@ -299,8 +328,8 @@ func equalSnapshots(a, b fullSnapshot) bool {
 	if len(a.route) != len(b.route) {
 		return false
 	}
-	for f, r := range a.route {
-		if b.route[f] != r {
+	for fi, r := range a.route {
+		if b.route[fi] != r {
 			return false
 		}
 	}
@@ -336,16 +365,17 @@ func TestStateInvariantsUnderRandomOps(t *testing.T) {
 					s.reattach(p, to)
 				}
 			case 2:
-				f := s.flows[rng.Intn(len(s.flows))]
+				fi := rng.Intn(len(s.flows))
+				f := s.flows[fi]
 				a, b := s.home[f.Src], s.home[f.Dst]
 				if a == b {
 					continue
 				}
 				m := rng.Intn(len(s.swProcs))
 				if m != a && m != b {
-					s.setRoute(f, []int{a, m, b})
+					s.setRoute(fi, []int{a, m, b})
 				} else {
-					s.setRoute(f, []int{a, b})
+					s.setRoute(fi, []int{a, b})
 				}
 			}
 			checkStateInvariants(t, s)

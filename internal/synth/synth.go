@@ -112,61 +112,87 @@ type Stats struct {
 // the split switch and to all of its neighbors, so completeness is
 // invariant), with unused pipes carrying no flows and hence zero estimated
 // width.
+//
+// Flows are interned into dense IDs (model.FlowIndex) once per pattern, so
+// the whole inner loop — pipe flow sets, clique membership, the contention
+// relation C, route and reverse-flow lookup — runs on array indexing and
+// BitSet word arithmetic instead of map hashing. IDs ascend in Flow.Less
+// order, which keeps every iteration order (and therefore every RNG draw
+// and the serialized output) identical to the historical map-and-sort
+// implementation.
 type state struct {
-	procs       int
-	cliques     []model.Clique
-	contention  model.PairSet
-	flows       []model.Flow
-	flowCliques map[model.Flow][]int
-	procFlows   [][]model.Flow
+	procs      int
+	cliques    []model.Clique
+	idx        *model.FlowIndex      // flow ⇄ dense ID (per-pattern)
+	conflict   *model.ConflictMatrix // C as per-flow conflict rows
+	cliqueBits []model.BitSet        // clique -> member flow IDs
+	flows      []model.Flow          // flow ID -> Flow (sorted; shared with idx)
+	revID      []int                 // flow ID -> reverse flow's ID, or -1
+	procFlows  [][]int               // processor -> flow IDs touching it
 
 	home    []int   // processor -> switch
 	swProcs [][]int // switch -> processors
-	routes  map[model.Flow][]int
-	pipes   map[[2]int]map[model.Flow]bool // ordered (from,to) -> flows
+	routes  [][]int // flow ID -> switch path
+
+	// Pipes and the estWidth memo are dense stride×stride matrices over
+	// switch indices (grown as splits add switches): pipes[from*stride+to]
+	// is the ordered direction's flow-ID set, pipeCount its cardinality,
+	// widthCache the unordered pair's memo (-1 = invalid) stored at a<b.
+	stride     int
+	pipes      []model.BitSet
+	pipeCount  []int32
+	widthCache []int32
 
 	totalHops int
 	rng       *rand.Rand
 	opt       Options
 	stats     *Stats
 
-	cliqueCount []int          // scratch buffer for fast coloring
-	widthCache  map[[2]int]int // estWidth memo, invalidated by setRoute
+	// Reusable scratch for cost evaluation; helpers fully consume them
+	// before returning (no nesting), so one buffer each suffices.
+	pairScratch [][2]int
+	swScratch   []int
+	idScratch   []int
+	nbrScratch  []int
+	candScratch []int
+	revScratch  []int
 }
 
 func newState(p *model.Pattern, cliques []model.Clique, opt Options, seed int64, stats *Stats) *state {
+	idx := model.NewFlowIndex(model.CliqueFlows(cliques))
+	nf := idx.Len()
 	s := &state{
-		procs:       p.Procs,
-		cliques:     cliques,
-		contention:  model.ContentionSetFromCliques(cliques),
-		flows:       model.CliqueFlows(cliques),
-		flowCliques: make(map[model.Flow][]int),
-		procFlows:   make([][]model.Flow, p.Procs),
-		home:        make([]int, p.Procs),
-		routes:      make(map[model.Flow][]int),
-		pipes:       make(map[[2]int]map[model.Flow]bool),
-		rng:         rand.New(rand.NewSource(seed)),
-		opt:         opt,
-		stats:       stats,
-		cliqueCount: make([]int, len(cliques)),
-		widthCache:  make(map[[2]int]int),
+		procs:      p.Procs,
+		cliques:    cliques,
+		idx:        idx,
+		conflict:   model.ConflictMatrixFromCliques(idx, cliques),
+		cliqueBits: idx.CliqueBits(cliques),
+		flows:      idx.Flows(),
+		revID:      make([]int, nf),
+		procFlows:  make([][]int, p.Procs),
+		home:       make([]int, p.Procs),
+		routes:     make([][]int, nf),
+		rng:        rand.New(rand.NewSource(seed)),
+		opt:        opt,
+		stats:      stats,
 	}
-	for ci, c := range cliques {
-		for _, f := range c {
-			s.flowCliques[f] = append(s.flowCliques[f], ci)
-		}
-	}
+	s.growStride(8)
 	all := make([]int, p.Procs)
 	s.swProcs = [][]int{all}
 	for i := range all {
 		all[i] = i
 	}
-	for _, f := range s.flows {
-		s.procFlows[f.Src] = append(s.procFlows[f.Src], f)
-		if f.Dst != f.Src {
-			s.procFlows[f.Dst] = append(s.procFlows[f.Dst], f)
+	for fi, f := range s.flows {
+		if ri, ok := idx.ID(f.Reverse()); ok {
+			s.revID[fi] = ri
+		} else {
+			s.revID[fi] = -1
 		}
-		s.routes[f] = []int{0}
+		s.procFlows[f.Src] = append(s.procFlows[f.Src], fi)
+		if f.Dst != f.Src {
+			s.procFlows[f.Dst] = append(s.procFlows[f.Dst], fi)
+		}
+		s.routes[fi] = []int{0}
 	}
 	return s
 }
@@ -178,32 +204,81 @@ func pairKey(a, b int) [2]int {
 	return [2]int{a, b}
 }
 
+// nsw is the current switch count (live or not).
+func (s *state) nsw() int { return len(s.swProcs) }
+
+// pipeAt returns the ordered direction's flow set, or nil if never used.
+func (s *state) pipeAt(from, to int) model.BitSet { return s.pipes[from*s.stride+to] }
+
+// pipeLen returns the ordered direction's flow count.
+func (s *state) pipeLen(from, to int) int { return int(s.pipeCount[from*s.stride+to]) }
+
+func (s *state) widthIdx(a, b int) int {
+	if b < a {
+		a, b = b, a
+	}
+	return a*s.stride + b
+}
+
+// growStride resizes the dense pipe/width matrices to hold at least n
+// switches, preserving pipe contents and memoized widths.
+func (s *state) growStride(n int) {
+	if n <= s.stride {
+		return
+	}
+	stride := s.stride
+	if stride == 0 {
+		stride = 1
+	}
+	for stride < n {
+		stride *= 2
+	}
+	pipes := make([]model.BitSet, stride*stride)
+	count := make([]int32, stride*stride)
+	width := make([]int32, stride*stride)
+	for i := range width {
+		width[i] = -1
+	}
+	for a := 0; a < s.stride; a++ {
+		for b := 0; b < s.stride; b++ {
+			pipes[a*stride+b] = s.pipes[a*s.stride+b]
+			count[a*stride+b] = s.pipeCount[a*s.stride+b]
+			width[a*stride+b] = s.widthCache[a*s.stride+b]
+		}
+	}
+	s.stride, s.pipes, s.pipeCount, s.widthCache = stride, pipes, count, width
+}
+
 // setRoute replaces a flow's route, maintaining the per-pipe flow sets and
 // total hop count.
-func (s *state) setRoute(f model.Flow, route []int) {
-	if old, ok := s.routes[f]; ok {
+func (s *state) setRoute(fi int, route []int) {
+	if old := s.routes[fi]; old != nil {
 		for i := 1; i < len(old); i++ {
-			delete(s.pipes[[2]int{old[i-1], old[i]}], f)
-			delete(s.widthCache, pairKey(old[i-1], old[i]))
+			pi := old[i-1]*s.stride + old[i]
+			s.pipes[pi].Clear(fi)
+			s.pipeCount[pi]--
+			s.widthCache[s.widthIdx(old[i-1], old[i])] = -1
 		}
 		s.totalHops -= len(old) - 1
 	}
-	s.routes[f] = route
+	s.routes[fi] = route
 	for i := 1; i < len(route); i++ {
-		key := [2]int{route[i-1], route[i]}
-		set := s.pipes[key]
+		pi := route[i-1]*s.stride + route[i]
+		set := s.pipes[pi]
 		if set == nil {
-			set = make(map[model.Flow]bool)
-			s.pipes[key] = set
+			set = model.NewBitSet(len(s.flows))
+			s.pipes[pi] = set
 		}
-		set[f] = true
-		delete(s.widthCache, pairKey(route[i-1], route[i]))
+		set.Set(fi)
+		s.pipeCount[pi]++
+		s.widthCache[s.widthIdx(route[i-1], route[i])] = -1
 	}
 	s.totalHops += len(route) - 1
 }
 
 // directRoute is the one-pipe path between the endpoints' home switches.
-func (s *state) directRoute(f model.Flow) []int {
+func (s *state) directRoute(fi int) []int {
+	f := s.flows[fi]
 	a, b := s.home[f.Src], s.home[f.Dst]
 	if a == b {
 		return []int{a}
@@ -217,6 +292,7 @@ func (s *state) directRoute(f model.Flow) []int {
 func (s *state) split(sw int) int {
 	j := len(s.swProcs)
 	s.swProcs = append(s.swProcs, nil)
+	s.growStride(len(s.swProcs))
 	ps := append([]int(nil), s.swProcs[sw]...)
 	s.rng.Shuffle(len(ps), func(a, b int) { ps[a], ps[b] = ps[b], ps[a] })
 	half := len(ps) / 2
@@ -231,8 +307,8 @@ func (s *state) split(sw int) int {
 // touching p to direct paths.
 func (s *state) reattach(p, to int) {
 	s.reattachNoReroute(p, to)
-	for _, f := range s.procFlows[p] {
-		s.setRoute(f, s.directRoute(f))
+	for _, fi := range s.procFlows[p] {
+		s.setRoute(fi, s.directRoute(fi))
 	}
 }
 
@@ -253,8 +329,55 @@ func (s *state) reattachNoReroute(p, to int) {
 
 // routeUndo captures route state for rollback.
 type routeUndo struct {
-	flow  model.Flow
+	fi    int
 	route []int
+}
+
+// addPair appends the canonical unordered pair (a,b) to pairs if absent.
+// The affected sets a tentative change touches are tiny, so a linear scan
+// beats hashing.
+func addPair(pairs [][2]int, a, b int) [][2]int {
+	if b < a {
+		a, b = b, a
+	}
+	p := [2]int{a, b}
+	for _, q := range pairs {
+		if q == p {
+			return pairs
+		}
+	}
+	return append(pairs, p)
+}
+
+// addRoutePairs records every pipe a route crosses.
+func addRoutePairs(pairs [][2]int, r []int) [][2]int {
+	for i := 1; i < len(r); i++ {
+		pairs = addPair(pairs, r[i-1], r[i])
+	}
+	return pairs
+}
+
+// switchesOf collects the distinct endpoints of a pipe set plus any extras
+// into the reusable scratch buffer.
+func (s *state) switchesOf(pairs [][2]int, extra ...int) []int {
+	sws := s.swScratch[:0]
+	add := func(x int) {
+		for _, y := range sws {
+			if y == x {
+				return
+			}
+		}
+		sws = append(sws, x)
+	}
+	for _, p := range pairs {
+		add(p[0])
+		add(p[1])
+	}
+	for _, x := range extra {
+		add(x)
+	}
+	s.swScratch = sws
+	return sws
 }
 
 // tryMove evaluates moving processor p to switch `to` (flows touching p
@@ -264,34 +387,30 @@ type routeUndo struct {
 func (s *state) tryMove(p, to int) (delta int, undo func()) {
 	from := s.home[p]
 	var undos []routeUndo
-	affected := make(map[[2]int]bool)
-	for _, f := range s.procFlows[p] {
-		r := s.routes[f]
-		undos = append(undos, routeUndo{flow: f, route: r})
-		for i := 1; i < len(r); i++ {
-			affected[pairKey(r[i-1], r[i])] = true
-		}
+	pairs := s.pairScratch[:0]
+	for _, fi := range s.procFlows[p] {
+		r := s.routes[fi]
+		undos = append(undos, routeUndo{fi: fi, route: r})
+		pairs = addRoutePairs(pairs, r)
 	}
 	// Provisionally apply to discover the new direct routes' pipes.
 	s.reattach(p, to)
-	for _, f := range s.procFlows[p] {
-		r := s.routes[f]
-		for i := 1; i < len(r); i++ {
-			affected[pairKey(r[i-1], r[i])] = true
-		}
+	for _, fi := range s.procFlows[p] {
+		pairs = addRoutePairs(pairs, s.routes[fi])
 	}
-	sws := switchesOfPairs(affected, from, to)
-	after := s.localCost(affected, sws)
+	sws := s.switchesOf(pairs, from, to)
+	after := s.localCost(pairs, sws)
 	undoFn := func() {
 		s.reattachNoReroute(p, from)
 		for _, u := range undos {
-			s.setRoute(u.flow, u.route)
+			s.setRoute(u.fi, u.route)
 		}
 	}
 	// Measure "before" by undoing, then reapply.
 	undoFn()
-	before := s.localCost(affected, sws)
+	before := s.localCost(pairs, sws)
 	s.reattach(p, to)
+	s.pairScratch = pairs[:0]
 	s.stats.MovesEvaluated++
 	return after - before, undoFn
 }
@@ -328,7 +447,8 @@ func (s *state) optimizeMoves(i, j int) {
 	for iter := 0; iter < 4*s.procs; iter++ {
 		bestDelta := 0
 		bestProc, bestTo := -1, -1
-		candidates := append(append([]int(nil), s.swProcs[i]...), s.swProcs[j]...)
+		candidates := append(append(s.candScratch[:0], s.swProcs[i]...), s.swProcs[j]...)
+		s.candScratch = candidates
 		sort.Ints(candidates)
 		for _, p := range candidates {
 			to := j
@@ -362,7 +482,8 @@ func (s *state) optimizeMoves(i, j int) {
 func (s *state) annealMoves(i, j int) {
 	temp := s.opt.Anneal.InitialTemp
 	for step := 0; step < s.opt.Anneal.Steps && temp > 1e-3; step++ {
-		candidates := append(append([]int(nil), s.swProcs[i]...), s.swProcs[j]...)
+		candidates := append(append(s.candScratch[:0], s.swProcs[i]...), s.swProcs[j]...)
+		s.candScratch = candidates
 		if len(candidates) == 0 {
 			return
 		}
