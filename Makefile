@@ -4,7 +4,7 @@
 # reduction cannot pass by luck.
 GO ?= go
 
-.PHONY: verify vet build test race determinism bench bench-all fuzz
+.PHONY: verify vet build test race determinism bench bench-synth bench-obs bench-all fuzz
 
 verify: vet build race determinism
 
@@ -23,13 +23,27 @@ race:
 determinism:
 	$(GO) test -run TestDeterminism -count=2 ./...
 
-# bench runs the synthesis hot-path benchmarks with allocation stats and
-# writes BENCH_synth.json (a machine-readable summary) plus BENCH_synth.txt
-# (the raw benchstat-compatible text).
-bench:
+# bench-synth runs the synthesis hot-path benchmarks with allocation stats
+# and writes BENCH_synth.json (a machine-readable summary) plus
+# BENCH_synth.txt (the raw benchstat-compatible text).
+bench-synth:
 	$(GO) test -run '^$$' -bench 'Synthesize|FastColor|Coloring|ContentionPeriods|MaxClique' -benchmem \
 		./internal/synth ./internal/coloring ./internal/model \
 		| $(GO) run ./cmd/benchjson -o BENCH_synth.json -raw BENCH_synth.txt
+
+# bench-obs is the telemetry overhead gate: it re-runs the synthesis
+# benchmark (Observer unset, i.e. the nil fast path) together with the
+# Observer microbenchmarks and fails if SynthesizeCG16 is more than 2%
+# slower than the BENCH_synth.json baseline. Run it standalone to compare
+# against the committed baseline, or via `make bench` to compare against a
+# fresh same-machine bench-synth run.
+bench-obs:
+	$(GO) test -run '^$$' -bench 'SynthesizeCG16|Observer' -benchmem \
+		./internal/synth ./internal/obs \
+		| $(GO) run ./cmd/benchjson -o BENCH_obs.json -raw BENCH_obs.txt \
+			-baseline BENCH_synth.json -budget 2
+
+bench: bench-synth bench-obs
 
 bench-all:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...

@@ -5,7 +5,14 @@
 //
 // Usage:
 //
-//	go test -run '^$' -bench . -benchmem ./... | benchjson -o BENCH.json [-raw BENCH.txt]
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -o BENCH.json [-raw BENCH.txt] [-baseline OLD.json -budget 2]
+//
+// With -baseline, each result is matched (by name, GOMAXPROCS suffix
+// stripped) against the baseline report and annotated with the baseline
+// ns/op and the percentage delta; with a positive -budget, any matched
+// benchmark slower than baseline by more than that percentage fails the
+// run with exit status 1 — the regression gate `make bench-obs` uses to
+// keep telemetry overhead under 2%.
 package main
 
 import (
@@ -27,6 +34,11 @@ type Result struct {
 	NsPerOp     float64  `json:"ns_per_op"`
 	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// BaselineNsPerOp and VsBaselinePct are set when -baseline matched
+	// this benchmark: the baseline's ns/op and this run's delta in
+	// percent (positive = slower than baseline).
+	BaselineNsPerOp *float64 `json:"baseline_ns_per_op,omitempty"`
+	VsBaselinePct   *float64 `json:"vs_baseline_pct,omitempty"`
 }
 
 // Report is the emitted JSON document.
@@ -40,6 +52,8 @@ type Report struct {
 func main() {
 	out := flag.String("o", "", "write the JSON report to this file (default stdout only)")
 	raw := flag.String("raw", "", "also copy the raw benchmark text to this file")
+	baseline := flag.String("baseline", "", "baseline JSON report to annotate ns/op deltas against")
+	budget := flag.Float64("budget", 0, "fail when any matched benchmark is slower than -baseline by more than this percent")
 	flag.Parse()
 
 	var rawBuf strings.Builder
@@ -71,6 +85,29 @@ func main() {
 	if err := sc.Err(); err != nil {
 		fatal(err)
 	}
+	var regressions []string
+	if *baseline != "" {
+		base, err := loadBaseline(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		for i := range rep.Results {
+			r := &rep.Results[i]
+			b, ok := base[stripGomaxprocs(r.Name)]
+			if !ok || b.NsPerOp == 0 {
+				continue
+			}
+			bns := b.NsPerOp
+			pct := (r.NsPerOp - bns) / bns * 100
+			r.BaselineNsPerOp = &bns
+			r.VsBaselinePct = &pct
+			if *budget > 0 && pct > *budget {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f ns/op (%+.2f%%, budget %.2f%%)",
+						r.Name, r.NsPerOp, bns, pct, *budget))
+			}
+		}
+	}
 	if *raw != "" {
 		if err := os.WriteFile(*raw, []byte(rawBuf.String()), 0o644); err != nil {
 			fatal(err)
@@ -83,11 +120,46 @@ func main() {
 	data = append(data, '\n')
 	if *out == "" {
 		os.Stdout.Write(data)
-		return
-	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
 		fatal(err)
 	}
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "benchjson: regression:", r)
+		}
+		os.Exit(1)
+	}
+}
+
+// loadBaseline reads a prior benchjson report and indexes its results by
+// benchmark name with the GOMAXPROCS suffix stripped, so runs from
+// machines with different core counts still match.
+func loadBaseline(path string) (map[string]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("baseline %s: %v", path, err)
+	}
+	m := make(map[string]Result, len(rep.Results))
+	for _, r := range rep.Results {
+		m[stripGomaxprocs(r.Name)] = r
+	}
+	return m, nil
+}
+
+// stripGomaxprocs drops the trailing -N go test appends to benchmark names.
+func stripGomaxprocs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
 }
 
 // parseBench parses one benchmark result line, e.g.

@@ -4,16 +4,15 @@
 //
 // Usage:
 //
-//	netgen -trace trace.txt [-maxdegree 5] [-maxprocs 4] [-seed 1] [-restarts 4] [-workers 0] [-o net.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	netgen -trace trace.txt [-maxdegree 5] [-maxprocs 4] [-seed 1] [-restarts 4] [-workers 0] [-o net.json] [-report run.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"runtime/pprof"
 
+	"repro/internal/cliutil"
 	"repro/internal/floorplan"
 	"repro/internal/synth"
 	"repro/internal/trace"
@@ -24,37 +23,24 @@ func main() {
 		tracePath = flag.String("trace", "", "input noctrace file (required)")
 		maxDeg    = flag.Int("maxdegree", 5, "maximum switch degree (ports)")
 		maxProcs  = flag.Int("maxprocs", 4, "maximum processors per switch")
-		seed      = flag.Int64("seed", 1, "synthesis seed")
 		restarts  = flag.Int("restarts", 4, "synthesis restarts")
-		workers   = flag.Int("workers", 0, "restart fan-out goroutines (0 = GOMAXPROCS); output is identical for any value")
 		out       = flag.String("o", "", "write topology JSON to this file")
-		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		shared    cliutil.Flags
 	)
+	shared.RegisterSeed(flag.CommandLine, "synthesis seed")
+	shared.RegisterWorkers(flag.CommandLine)
+	shared.RegisterProfiles(flag.CommandLine)
+	shared.RegisterReport(flag.CommandLine)
 	flag.Parse()
-	if *cpuProf != "" {
-		pf, err := os.Create(*cpuProf)
-		if err != nil {
+	stopProfiles, err := shared.StartProfiles()
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
 			fatal(err)
 		}
-		if err := pprof.StartCPUProfile(pf); err != nil {
-			fatal(err)
-		}
-		defer pprof.StopCPUProfile()
-	}
-	if *memProf != "" {
-		defer func() {
-			pf, err := os.Create(*memProf)
-			if err != nil {
-				fatal(err)
-			}
-			defer pf.Close()
-			runtime.GC()
-			if err := pprof.WriteHeapProfile(pf); err != nil {
-				fatal(err)
-			}
-		}()
-	}
+	}()
 	if *tracePath == "" {
 		fatal(fmt.Errorf("-trace is required"))
 	}
@@ -70,9 +56,10 @@ func main() {
 
 	res, err := synth.Synthesize(pat, synth.Options{
 		Constraints: synth.Constraints{MaxDegree: *maxDeg, MaxProcsPerSwitch: *maxProcs},
-		Seed:        *seed,
+		Seed:        shared.Seed,
 		Restarts:    *restarts,
-		Workers:     *workers,
+		Workers:     shared.Workers,
+		Obs:         shared.Observer(),
 	})
 	if err != nil {
 		fatal(err)
@@ -94,7 +81,7 @@ func main() {
 		fmt.Printf("  pipe %d-%d: %d link(s)\n", p.A, p.B, p.Width)
 	}
 
-	plan, err := floorplan.Place(res.Net, floorplan.Options{Seed: *seed})
+	plan, err := floorplan.Place(res.Net, floorplan.Options{Seed: shared.Seed, Obs: shared.Observer()})
 	if err != nil {
 		fatal(err)
 	}
@@ -113,6 +100,9 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("design (topology + routes) written to %s\n", *out)
+	}
+	if err := shared.WriteReport("netgen", trace.Summarize(pat)); err != nil {
+		fatal(err)
 	}
 }
 

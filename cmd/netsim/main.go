@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	netsim -trace trace.txt -topo mesh|torus|crossbar|generated [-net net.json]
+//	netsim -trace trace.txt -topo mesh|torus|crossbar|generated [-net net.json] [-report run.json]
 //
 // For -topo generated, -net must point to a design saved by netgen; the
 // synthesized source routes and link assignments are used as-is, with
@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cliutil"
 	"repro/internal/flitsim"
 	"repro/internal/floorplan"
 	"repro/internal/synth"
@@ -28,8 +29,10 @@ func main() {
 		netPath   = flag.String("net", "", "topology JSON for -topo generated")
 		vcs       = flag.Int("vcs", 3, "virtual channels per link")
 		useFloor  = flag.Bool("floorplan", true, "derive per-link delays from a floorplan (generated topologies)")
-		seed      = flag.Int64("seed", 1, "floorplan placement seed")
+		shared    cliutil.Flags
 	)
+	shared.RegisterSeed(flag.CommandLine, "floorplan placement seed")
+	shared.RegisterReport(flag.CommandLine)
 	flag.Parse()
 	if *tracePath == "" {
 		fatal(fmt.Errorf("-trace is required"))
@@ -43,7 +46,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	cfg := flitsim.Config{VCs: *vcs}
+	cfg := flitsim.Config{VCs: *vcs, Obs: shared.Observer()}
 
 	var res flitsim.Result
 	switch *topo {
@@ -67,7 +70,7 @@ func main() {
 			fatal(err2)
 		}
 		if *useFloor {
-			plan, err3 := floorplan.Place(net, floorplan.Options{Seed: *seed})
+			plan, err3 := floorplan.Place(net, floorplan.Options{Seed: shared.Seed, Obs: shared.Observer()})
 			if err3 != nil {
 				fatal(err3)
 			}
@@ -90,6 +93,9 @@ func main() {
 	fmt.Printf("peak link util:     %.3f\n", res.PeakLinkUtil)
 	fmt.Printf("energy estimate:    %.0f units\n", res.EnergyUnits)
 	fmt.Printf("deadlock recoveries: %d\n", res.Kills)
+	if err := shared.WriteReport("netsim", trace.Summarize(pat)); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

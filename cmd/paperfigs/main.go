@@ -3,67 +3,50 @@
 //
 // Usage:
 //
-//	paperfigs [-fig all|1|7a|7b|8a|8b|sens|color|ablation|skew] [-quick] [-workers 0] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	paperfigs [-fig all|1|7a|7b|8a|8b|sens|color|ablation|skew] [-quick] [-workers 0] [-report run.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"runtime/pprof"
 
+	"repro/internal/cliutil"
 	"repro/internal/harness"
 )
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure: all, 1, 7a, 7b, 8a, 8b, sens, color, ablation, multi, scale, skew")
-		quick   = flag.Bool("quick", false, "scaled-down workloads (faster)")
-		workers = flag.Int("workers", 0, "experiment-cell and restart fan-out goroutines (0 = GOMAXPROCS); tables are identical for any value")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		fig    = flag.String("fig", "all", "figure: all, 1, 7a, 7b, 8a, 8b, sens, color, ablation, multi, scale, skew")
+		quick  = flag.Bool("quick", false, "scaled-down workloads (faster)")
+		shared cliutil.Flags
 	)
+	shared.RegisterWorkers(flag.CommandLine)
+	shared.RegisterProfiles(flag.CommandLine)
+	shared.RegisterReport(flag.CommandLine)
 	flag.Parse()
-	if *cpuProf != "" {
-		pf, err := os.Create(*cpuProf)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
-			os.Exit(1)
-		}
-		if err := pprof.StartCPUProfile(pf); err != nil {
-			fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
-			os.Exit(1)
-		}
-		defer pprof.StopCPUProfile()
+	stopProfiles, err := shared.StartProfiles()
+	if err != nil {
+		fatal(err)
 	}
-	if *memProf != "" {
-		defer func() {
-			pf, err := os.Create(*memProf)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
-				os.Exit(1)
-			}
-			defer pf.Close()
-			runtime.GC()
-			if err := pprof.WriteHeapProfile(pf); err != nil {
-				fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
-				os.Exit(1)
-			}
-		}()
-	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fatal(err)
+		}
+	}()
 	cfg := harness.Paper()
 	if *quick {
 		cfg = harness.Quick()
 	}
-	cfg.Workers = *workers
+	cfg.Workers = shared.Workers
+	cfg.Obs = shared.Observer()
+	cfg = cfg.Normalized()
 	run := func(name string, f func() error) {
 		if *fig != "all" && *fig != name {
 			return
 		}
 		if err := f(); err != nil {
-			fmt.Fprintf(os.Stderr, "paperfigs %s: %v\n", name, err)
-			os.Exit(1)
+			fatal(fmt.Errorf("%s: %v", name, err))
 		}
 	}
 
@@ -161,4 +144,12 @@ func main() {
 		fmt.Println(harness.RenderSkewTable("CG", rows))
 		return nil
 	})
+	if err := shared.WriteReport("paperfigs", nil); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "paperfigs:", err)
+	os.Exit(1)
 }

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	tracegen -bench CG -procs 16 [-iters 4] [-bytescale 1.0] [-skew 0] [-seed 1] [-o trace.txt]
+//	tracegen -bench CG -procs 16 [-iters 4] [-bytescale 1.0] [-skew 0] [-seed 1] [-o trace.txt] [-report run.json]
 package main
 
 import (
@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cliutil"
 	"repro/internal/nas"
 	"repro/internal/trace"
 )
@@ -22,17 +23,23 @@ func main() {
 		iters     = flag.Int("iters", 0, "main-loop iterations (0 = benchmark default)")
 		byteScale = flag.Float64("bytescale", 0, "message size multiplier (0 = 1.0)")
 		skew      = flag.Float64("skew", 0, "max per-processor start-time skew, trace units")
-		seed      = flag.Int64("seed", 1, "seed for the skew model")
 		out       = flag.String("o", "", "output file (default stdout)")
+		shared    cliutil.Flags
 	)
+	shared.RegisterSeed(flag.CommandLine, "seed for the skew model")
+	shared.RegisterReport(flag.CommandLine)
 	flag.Parse()
 
-	pat, err := nas.Generate(*bench, *procs, nas.Config{Iterations: *iters, ByteScale: *byteScale})
+	pat, err := nas.Generate(*bench, *procs, nas.Config{
+		Iterations: *iters,
+		ByteScale:  *byteScale,
+		Obs:        shared.Observer(),
+	})
 	if err != nil {
 		fatal(err)
 	}
 	if *skew > 0 {
-		pat = trace.ApplySkew(pat, *skew, *seed)
+		pat = trace.ApplySkew(pat, *skew, shared.Seed)
 	}
 	w := os.Stdout
 	if *out != "" {
@@ -49,6 +56,9 @@ func main() {
 	st := trace.Summarize(pat)
 	fmt.Fprintf(os.Stderr, "%s: %d procs, %d messages, %d phases, %d contention periods (%d maximal), |C|=%d\n",
 		pat.Name, st.Procs, st.Messages, st.Phases, st.Periods, st.MaxPeriods, st.ContentionSz)
+	if err := shared.WriteReport("tracegen", st); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

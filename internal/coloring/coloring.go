@@ -26,7 +26,58 @@ import (
 	"sort"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 )
+
+// Stats counts solver invocations so callers can account DSATUR versus
+// branch-and-bound effort. Counting rides in plain struct fields (rather
+// than an Observer threaded into every solver call) because synthesis runs
+// speculative restart batches whose solver work must not leak into the
+// deterministic counter section of a report; callers merge the Stats of the
+// restarts they actually fold and emit once (see synth.Synthesize).
+type Stats struct {
+	// DSATUR counts greedy colorings, including the upper-bound pass
+	// every exact coloring starts with.
+	DSATUR int
+	// BranchAndBound counts exact searches that went past the trivial
+	// lb >= ub proof into the branch-and-bound loop.
+	BranchAndBound int
+	// Fallbacks counts branch-and-bound searches that exhausted
+	// ExactBudget and fell back to the DSATUR coloring.
+	Fallbacks int
+}
+
+// Add merges t into s.
+func (s *Stats) Add(t Stats) {
+	s.DSATUR += t.DSATUR
+	s.BranchAndBound += t.BranchAndBound
+	s.Fallbacks += t.Fallbacks
+}
+
+// Emit publishes the counts under the coloring.* counter names.
+func (s Stats) Emit(o obs.Observer) {
+	obs.Count(o, "coloring.dsatur", int64(s.DSATUR))
+	obs.Count(o, "coloring.branch_and_bound", int64(s.BranchAndBound))
+	obs.Count(o, "coloring.fallbacks", int64(s.Fallbacks))
+}
+
+// bump helpers tolerate a nil Stats so the uncounted entry points share the
+// counted implementations.
+func (s *Stats) dsatur() {
+	if s != nil {
+		s.DSATUR++
+	}
+}
+func (s *Stats) branchAndBound() {
+	if s != nil {
+		s.BranchAndBound++
+	}
+}
+func (s *Stats) fallback() {
+	if s != nil {
+		s.Fallbacks++
+	}
+}
 
 // ConflictGraph is the conflict graph of one pipe direction.
 type ConflictGraph struct {
@@ -270,15 +321,23 @@ const ExactBudget = 2_000_000
 // provably optimal; on budget exhaustion the greedy coloring is returned
 // with false.
 func (g *ConflictGraph) Exact() (int, []int, bool) {
+	return g.ExactStats(nil)
+}
+
+// ExactStats is Exact with solver-effort accounting recorded into st (which
+// may be nil).
+func (g *ConflictGraph) ExactStats(st *Stats) (int, []int, bool) {
 	n := g.N()
 	if n == 0 {
 		return 0, nil, true
 	}
+	st.dsatur()
 	ub, greedyAssign := g.Greedy()
 	lb := g.maxCliqueLowerBound()
 	if lb >= ub {
 		return ub, greedyAssign, true
 	}
+	st.branchAndBound()
 	// Order vertices by descending degree for effective pruning.
 	order := make([]int, n)
 	for i := range order {
@@ -301,6 +360,7 @@ func (g *ConflictGraph) Exact() (int, []int, bool) {
 		if ok, exhausted := g.tryColor(order, assign, colorVerts, 0, k, 0, &budget); ok {
 			return k, assign, true
 		} else if exhausted {
+			st.fallback()
 			return ub, greedyAssign, false
 		}
 	}
@@ -353,18 +413,24 @@ type Assignment map[model.Flow]int
 // returns the color count and flow→color assignment.
 func ColorPipeDirection(flows []model.Flow, c model.PairSet) (int, Assignment, bool) {
 	g := BuildConflictGraph(flows, c)
-	return colorGraph(g)
+	return colorGraph(g, nil)
 }
 
 // ColorPipeDirectionBits is ColorPipeDirection on the dense representation:
 // members selects the direction's flow IDs over cm's FlowIndex.
 func ColorPipeDirectionBits(members model.BitSet, cm *model.ConflictMatrix) (int, Assignment, bool) {
-	g := BuildConflictGraphBits(members, cm)
-	return colorGraph(g)
+	return ColorPipeDirectionBitsStats(members, cm, nil)
 }
 
-func colorGraph(g *ConflictGraph) (int, Assignment, bool) {
-	k, assign, exact := g.Exact()
+// ColorPipeDirectionBitsStats is ColorPipeDirectionBits with solver-effort
+// accounting recorded into st (which may be nil).
+func ColorPipeDirectionBitsStats(members model.BitSet, cm *model.ConflictMatrix, st *Stats) (int, Assignment, bool) {
+	g := BuildConflictGraphBits(members, cm)
+	return colorGraph(g, st)
+}
+
+func colorGraph(g *ConflictGraph, st *Stats) (int, Assignment, bool) {
+	k, assign, exact := g.ExactStats(st)
 	out := make(Assignment, len(g.Flows))
 	for i, f := range g.Flows {
 		out[f] = assign[i]

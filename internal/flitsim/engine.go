@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // engine drives the cycle-by-cycle simulation.
@@ -19,6 +20,8 @@ type engine struct {
 	readyAt    map[int]int64   // message ID -> cycle its recv may complete
 	now        int64
 	kills      int
+	victims    int // distinct packets ever killed (first-kill events)
+	vcStalls   int64
 	flitHops   int64
 
 	latSum int64
@@ -50,6 +53,8 @@ func Simulate(pat *model.Pattern, router Router, fb *fabric) (Result, error) {
 			if dbgWedge {
 				e.dumpWedge()
 			}
+			obs.Emit(e.cfg.Obs, "flitsim.wedged",
+				fmt.Sprintf("%s on %s exceeded %d cycles", pat.Name, fb.net.Name, e.cfg.MaxCycles))
 			// Return the partial results alongside the error so
 			// callers can diagnose what wedged.
 			return e.results(), fmt.Errorf("flitsim: %s on %s exceeded %d cycles (likely livelock)",
@@ -227,6 +232,8 @@ func (e *engine) allocate() {
 				if fv := ej.freeVC(); fv != nil {
 					fv.owner = pkt
 					v.out = fv
+				} else {
+					e.vcStalls++
 				}
 				continue
 			}
@@ -236,6 +243,9 @@ func (e *engine) allocate() {
 					v.out = fv
 					break
 				}
+			}
+			if v.out == nil {
+				e.vcStalls++
 			}
 		}
 	}
@@ -390,10 +400,17 @@ func (e *engine) kill(pkt *packet) {
 	pkt.sent = 0
 	pkt.arrived = 0
 	pkt.injVC = nil
+	if pkt.retries == 0 {
+		e.victims++
+	}
 	pkt.retries++
 	pkt.notBefore = e.now + int64(64*pkt.retries)
 	pkt.lastProgress = e.now
 	e.kills++
+	if e.cfg.Obs != nil {
+		e.cfg.Obs.Event("flitsim.kill",
+			fmt.Sprintf("cycle=%d msg=%d src=%d dst=%d retries=%d", e.now, pkt.msgID, pkt.src, pkt.dst, pkt.retries))
+	}
 }
 
 func (e *engine) finished() bool {
@@ -411,6 +428,7 @@ func (e *engine) finished() bool {
 }
 
 func (e *engine) results() Result {
+	e.emitObs()
 	r := Result{
 		ExecCycles:  e.now,
 		PerProcComm: make([]int64, len(e.nis)),
@@ -418,6 +436,8 @@ func (e *engine) results() Result {
 		MaxLatency:  e.latMax,
 		FlitHops:    e.flitHops,
 		Kills:       e.kills,
+		Victims:     e.victims,
+		VCStalls:    e.vcStalls,
 	}
 	var commSum int64
 	for i, ni := range e.nis {
@@ -443,6 +463,23 @@ func (e *engine) results() Result {
 		r.EnergyUnits += float64(c.carried) * (e.cfg.EnergySwitch + e.cfg.EnergyWire*float64(c.delay))
 	}
 	return r
+}
+
+// emitObs publishes the run's flitsim.* counters. The engine is fully
+// deterministic, so every counter here is identical across repeated runs
+// and — when invoked from harness cells — across worker counts.
+func (e *engine) emitObs() {
+	o := e.cfg.Obs
+	if o == nil {
+		return
+	}
+	obs.Count(o, "flitsim.runs", 1)
+	obs.Count(o, "flitsim.cycles", e.now)
+	obs.Count(o, "flitsim.flits", e.flitHops)
+	obs.Count(o, "flitsim.messages", int64(e.latN))
+	obs.Count(o, "flitsim.vc_stalls", e.vcStalls)
+	obs.Count(o, "flitsim.retries", int64(e.kills))
+	obs.Count(o, "flitsim.victims", int64(e.victims))
 }
 
 // dbgWedge dumps full fabric and NI state when a simulation exceeds its

@@ -22,6 +22,7 @@ package flitsim
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/topology"
 )
 
@@ -61,9 +62,16 @@ type Config struct {
 	// wire crossed (link delay is the length proxy). Defaults 1.0 / 0.5.
 	EnergySwitch float64
 	EnergyWire   float64
+	// Obs receives telemetry: the flitsim.* counters (cycles, flits,
+	// VC-allocation stalls, deadlock retries and victims) emitted once at
+	// the end of each simulation, a span per run, and one event per
+	// regressive-recovery kill. Nil disables telemetry at zero cost.
+	Obs obs.Observer
 }
 
-func (c Config) normalized() Config {
+// Normalized returns the configuration with every zero field replaced by
+// its documented Section 4.2 default.
+func (c Config) Normalized() Config {
 	if c.VCs == 0 {
 		c.VCs = 3
 	}
@@ -119,8 +127,13 @@ type Result struct {
 	// FlitHops counts flit-link traversals (network load).
 	FlitHops int64
 	// Kills counts deadlock recoveries (killed and retransmitted
-	// packets).
-	Kills int
+	// packets); Victims counts the distinct packets ever chosen as a
+	// recovery victim, so Kills-Victims is the repeat-kill tail.
+	Kills   int
+	Victims int
+	// VCStalls counts cycles a routed head flit waited for a downstream
+	// virtual channel (allocation pressure).
+	VCStalls int64
 	// PeakLinkUtil is the highest per-link utilization: flits carried
 	// divided by total cycles.
 	PeakLinkUtil float64
@@ -133,7 +146,7 @@ type Result struct {
 // ExecTimeNs converts execution cycles to nanoseconds at the configured
 // clock.
 func (r Result) ExecTimeNs(cfg Config) float64 {
-	cfg = cfg.normalized()
+	cfg = cfg.Normalized()
 	return float64(r.ExecCycles) * 1e3 / cfg.ClockMHz
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/routing"
 	"repro/internal/topology"
 )
@@ -19,7 +20,9 @@ func Run(pat *model.Pattern, net *topology.Network, router Router, cfg Config) (
 	if pat.Procs != net.Procs {
 		return Result{}, fmt.Errorf("flitsim: pattern has %d procs, network %d", pat.Procs, net.Procs)
 	}
-	cfg = cfg.normalized()
+	cfg = cfg.Normalized()
+	sp := obs.Span(cfg.Obs, "flitsim.run")
+	defer sp.End()
 	fb := buildFabric(net, cfg)
 	return Simulate(pat, router, fb)
 }

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/obs"
 	"repro/internal/topology"
 )
 
@@ -110,9 +111,14 @@ type Options struct {
 	Restarts int
 	// Sweeps bounds improvement passes per restart (default 64).
 	Sweeps int
+	// Obs receives telemetry: a span per Place call plus the floorplan.*
+	// counters. Nil disables telemetry at zero cost.
+	Obs obs.Observer
 }
 
-func (o Options) normalized() Options {
+// Normalized returns the options with every zero field replaced by its
+// documented default.
+func (o Options) Normalized() Options {
 	if o.Restarts == 0 {
 		o.Restarts = 4
 	}
@@ -129,7 +135,9 @@ func Place(net *topology.Network, opt Options) (*Plan, error) {
 	if err := net.Validate(); err != nil {
 		return nil, fmt.Errorf("floorplan: %v", err)
 	}
-	opt = opt.normalized()
+	opt = opt.Normalized()
+	sp := obs.Span(opt.Obs, "floorplan.place")
+	defer sp.End()
 	rows, cols := topology.GridDims(net.Procs)
 	corners := (rows + 1) * (cols + 1)
 	if net.NumSwitches() > corners {
@@ -143,7 +151,12 @@ func Place(net *topology.Network, opt Options) (*Plan, error) {
 			best = pl
 		}
 	}
-	return best.plan(), nil
+	plan := best.plan()
+	obs.Count(opt.Obs, "floorplan.place_calls", 1)
+	obs.Count(opt.Obs, "floorplan.restarts", int64(opt.Restarts))
+	obs.Count(opt.Obs, "floorplan.link_area", int64(plan.LinkArea))
+	obs.Count(opt.Obs, "floorplan.switch_area", int64(plan.SwitchArea))
+	return plan, nil
 }
 
 // placement is the mutable search state.

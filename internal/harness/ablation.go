@@ -30,7 +30,7 @@ type ColoringQualityRow struct {
 // pool.
 func (c Config) ColoringQuality(procs map[string]int) ([]ColoringQualityRow, error) {
 	names := benchmarkNames()
-	return parallel.Map(c.Workers, len(names), func(i int) (ColoringQualityRow, error) {
+	return parallel.MapObserved(c.Obs, "harness.coloring_quality", c.Workers, len(names), func(i int) (ColoringQualityRow, error) {
 		name := names[i]
 		n := procs[name]
 		if n == 0 {
@@ -114,7 +114,7 @@ func (c Config) Ablations(benchmark string, procs int) ([]AblationRow, error) {
 	}
 	// Every variant synthesizes from the same immutable pattern; the
 	// variant cells run on the Workers pool.
-	return parallel.Map(c.Workers, len(variants), func(i int) (AblationRow, error) {
+	return parallel.MapObserved(c.Obs, "harness.ablation", c.Workers, len(variants), func(i int) (AblationRow, error) {
 		v := variants[i]
 		res, err := synth.Synthesize(pat, v.opts)
 		if err != nil {
@@ -169,7 +169,7 @@ func (c Config) SkewRobustness(benchmark string, procs int, skews []float64) ([]
 		return nil, err
 	}
 	r := d.Result.Table.ConflictSet()
-	return parallel.Map(c.Workers, len(skews), func(i int) (SkewRow, error) {
+	return parallel.MapObserved(c.Obs, "harness.skew", c.Workers, len(skews), func(i int) (SkewRow, error) {
 		s := skews[i]
 		skewed := trace.ApplySkew(d.Pattern, s, c.Seed+7)
 		cs := model.ContentionSet(skewed)

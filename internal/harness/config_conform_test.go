@@ -1,0 +1,58 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/flitsim"
+	"repro/internal/floorplan"
+	"repro/internal/nas"
+	"repro/internal/obs"
+	"repro/internal/synth"
+)
+
+// TestKnobStructsConform pins the uniform surface of every knob struct in
+// the pipeline: a value-receiver Normalized() method returning the same
+// type (zero fields resolved to documented defaults), and an Obs field of
+// interface type obs.Observer so one assignment instruments the stage.
+func TestKnobStructsConform(t *testing.T) {
+	obsType := reflect.TypeOf((*obs.Observer)(nil)).Elem()
+	for _, v := range []any{
+		synth.Options{},
+		Config{},
+		flitsim.Config{},
+		floorplan.Options{},
+		nas.Config{},
+	} {
+		typ := reflect.TypeOf(v)
+		name := typ.String()
+
+		m, ok := typ.MethodByName("Normalized")
+		if !ok {
+			t.Errorf("%s: no Normalized method", name)
+			continue
+		}
+		if m.Type.NumIn() != 1 || m.Type.NumOut() != 1 || m.Type.Out(0) != typ {
+			t.Errorf("%s: Normalized has signature %v, want func() %s on a value receiver",
+				name, m.Type, name)
+		}
+
+		f, ok := typ.FieldByName("Obs")
+		if !ok {
+			t.Errorf("%s: no Obs field", name)
+			continue
+		}
+		if f.Type != obsType {
+			t.Errorf("%s: Obs field has type %v, want %v", name, f.Type, obsType)
+		}
+
+		// Normalizing must not disturb an attached Observer.
+		ptr := reflect.New(typ)
+		col := obs.NewCollector()
+		ptr.Elem().FieldByName("Obs").Set(reflect.ValueOf(col))
+		normed := ptr.Elem().Method(m.Index).Call(nil)[0]
+		if got := normed.FieldByName("Obs").Interface(); got != obs.Observer(col) {
+			t.Errorf("%s: Normalized dropped the Obs field", name)
+		}
+	}
+}

@@ -37,7 +37,7 @@ type ResourceRow struct {
 // The five benchmark cells are independent and run on the Workers pool.
 func (c Config) Figure7(size string) ([]ResourceRow, error) {
 	names := benchmarkNames()
-	return parallel.Map(c.Workers, len(names), func(i int) (ResourceRow, error) {
+	return parallel.MapObserved(c.Obs, "harness.fig7", c.Workers, len(names), func(i int) (ResourceRow, error) {
 		name := names[i]
 		small, large := paperProcs(name)
 		procs := small

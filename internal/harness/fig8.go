@@ -38,7 +38,7 @@ func Topologies() []string { return []string{"crossbar", "mesh", "torus", "gener
 // the crossbar run provides the normalization baseline for the others.
 func (c Config) Figure8(size string) ([]PerfRow, error) {
 	names := benchmarkNames()
-	cells, err := parallel.Map(c.Workers, len(names), func(i int) ([]PerfRow, error) {
+	cells, err := parallel.MapObserved(c.Obs, "harness.fig8", c.Workers, len(names), func(i int) ([]PerfRow, error) {
 		name := names[i]
 		small, large := paperProcs(name)
 		procs := small

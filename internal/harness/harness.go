@@ -13,6 +13,7 @@ import (
 	"repro/internal/floorplan"
 	"repro/internal/model"
 	"repro/internal/nas"
+	"repro/internal/obs"
 	"repro/internal/synth"
 	"repro/internal/topology"
 )
@@ -37,6 +38,12 @@ type Config struct {
 	Workers int
 	// Sim carries simulator parameters.
 	Sim flitsim.Config
+	// Obs receives telemetry from the harness itself (one span per
+	// experiment cell, pool-occupancy counters) and is propagated to the
+	// synthesis, floorplan, pattern-generation, and simulation stages it
+	// drives. Counter values are identical for every Workers setting; span
+	// timings are wall-clock and are not. Nil disables telemetry.
+	Obs obs.Observer
 }
 
 // Quick returns a configuration small enough for unit tests while
@@ -49,12 +56,22 @@ func Quick() Config {
 // benchmarks.
 func Paper() Config { return Config{Seed: 1} }
 
+// Normalized returns the configuration with defaults resolved: an unset
+// Sim.Obs inherits the harness Observer so one assignment instruments the
+// whole pipeline.
+func (c Config) Normalized() Config {
+	if c.Sim.Obs == nil {
+		c.Sim.Obs = c.Obs
+	}
+	return c
+}
+
 func (c Config) nasConfig() nas.Config {
-	return nas.Config{Iterations: c.Iterations, ByteScale: c.ByteScale}
+	return nas.Config{Iterations: c.Iterations, ByteScale: c.ByteScale, Obs: c.Obs}
 }
 
 func (c Config) synthOptions() synth.Options {
-	return synth.Options{Seed: c.Seed, Restarts: c.SynthRestarts, Workers: c.Workers}
+	return synth.Options{Seed: c.Seed, Restarts: c.SynthRestarts, Workers: c.Workers, Obs: c.Obs}
 }
 
 // Design bundles everything the experiments need about one synthesized
@@ -78,7 +95,7 @@ func (c Config) BuildDesign(benchmark string, procs int) (*Design, error) {
 	if err != nil {
 		return nil, err
 	}
-	plan, err := floorplan.Place(res.Net, floorplan.Options{Seed: c.Seed})
+	plan, err := floorplan.Place(res.Net, floorplan.Options{Seed: c.Seed, Obs: c.Obs})
 	if err != nil {
 		return nil, err
 	}
@@ -94,22 +111,32 @@ func (c Config) BuildDesign(benchmark string, procs int) (*Design, error) {
 // simulateGenerated runs a pattern on a design's network with its
 // floorplanned link delays.
 func (c Config) simulateGenerated(pat *model.Pattern, d *Design) (flitsim.Result, error) {
-	cfg := c.Sim
+	cfg := c.simConfig()
 	cfg.LinkDelay = d.Plan.LinkDelay
 	return flitsim.RunGenerated(pat, d.Result.Net, d.Result.Table, cfg)
+}
+
+// simConfig resolves the simulator configuration, defaulting its Observer
+// to the harness's.
+func (c Config) simConfig() flitsim.Config {
+	cfg := c.Sim
+	if cfg.Obs == nil {
+		cfg.Obs = c.Obs
+	}
+	return cfg
 }
 
 // simulateBaseline runs a pattern on one of the regular baselines.
 func (c Config) simulateBaseline(pat *model.Pattern, topo string) (flitsim.Result, error) {
 	switch topo {
 	case "crossbar":
-		return flitsim.RunCrossbar(pat, c.Sim)
+		return flitsim.RunCrossbar(pat, c.simConfig())
 	case "mesh":
-		return flitsim.RunMesh(pat, c.Sim)
+		return flitsim.RunMesh(pat, c.simConfig())
 	case "torus":
 		// Folded on-chip torus: every link spans two tiles
 		// (Section 4.2 penalizes the torus's doubled wiring).
-		cfg := c.Sim
+		cfg := c.simConfig()
 		cfg.LinkDelay = func(a, b topology.SwitchID) int { return 2 }
 		return flitsim.RunTorus(pat, cfg)
 	default:

@@ -50,7 +50,7 @@ func (c Config) MultiApp(apps []string, procs int) (*MultiAppResult, error) {
 	}
 	sort.Strings(res.Apps)
 	// Phase 1: each app's dedicated design is an independent cell.
-	dedicated, err := parallel.Map(c.Workers, len(res.Apps), func(i int) (*Design, error) {
+	dedicated, err := parallel.MapObserved(c.Obs, "harness.multiapp.dedicated", c.Workers, len(res.Apps), func(i int) (*Design, error) {
 		d, err := c.BuildDesign(res.Apps[i], procs)
 		if err != nil {
 			return nil, fmt.Errorf("multiapp %s: %v", res.Apps[i], err)
@@ -100,7 +100,7 @@ func (c Config) MultiApp(apps []string, procs int) (*MultiAppResult, error) {
 		free  bool
 		ratio float64
 	}
-	evals, err := parallel.Map(c.Workers, len(res.Apps), func(i int) (appEval, error) {
+	evals, err := parallel.MapObserved(c.Obs, "harness.multiapp.eval", c.Workers, len(res.Apps), func(i int) (appEval, error) {
 		d := designs[res.Apps[i]]
 		free, _ := model.ContentionFree(model.ContentionSet(d.Pattern), r)
 		own, err := c.simulateGenerated(d.Pattern, d)

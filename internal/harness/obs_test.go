@@ -1,0 +1,55 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// buildCounters runs the full CG-16 pipeline (generate, synthesize,
+// floorplan) under a Collector at the given worker count and returns the
+// counter snapshot.
+func buildCounters(t *testing.T, workers int) map[string]int64 {
+	t.Helper()
+	col := obs.NewCollector()
+	c := Quick()
+	c.Workers = workers
+	c.Obs = col
+	c = c.Normalized()
+	if _, err := c.BuildDesign("CG", 16); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Report("test").Validate(); err != nil {
+		t.Fatalf("workers=%d report invalid: %v", workers, err)
+	}
+	return col.Counters()
+}
+
+// TestCountersWorkerInvariant is the telemetry determinism contract:
+// counter-valued telemetry is emitted from the deterministic restart fold,
+// never from inside workers, so the full counter map of a CG-16 build is
+// byte-identical at -workers 1 and -workers 8. (Span timings are
+// wall-clock and carry no such guarantee.)
+func TestCountersWorkerInvariant(t *testing.T) {
+	serial := buildCounters(t, 1)
+	wide := buildCounters(t, 8)
+	if !reflect.DeepEqual(serial, wide) {
+		for k, v := range serial {
+			if wide[k] != v {
+				t.Errorf("counter %s: workers=1 -> %d, workers=8 -> %d", k, v, wide[k])
+			}
+		}
+		for k, v := range wide {
+			if _, ok := serial[k]; !ok {
+				t.Errorf("counter %s: only present at workers=8 (= %d)", k, v)
+			}
+		}
+	}
+	// Sanity: the map is not trivially empty and covers every stage.
+	for _, want := range []string{"nas.patterns", "synth.runs", "synth.restarts_run", "floorplan.place_calls"} {
+		if serial[want] == 0 {
+			t.Errorf("counter %s = 0, want > 0 after a full build", want)
+		}
+	}
+}

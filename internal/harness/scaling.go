@@ -31,7 +31,7 @@ func (c Config) Scaling(benchmark string, sizes []int) ([]ScalingRow, error) {
 	if cfg.SynthRestarts == 0 {
 		cfg.SynthRestarts = 1
 	}
-	return parallel.Map(c.Workers, len(sizes), func(i int) (ScalingRow, error) {
+	return parallel.MapObserved(c.Obs, "harness.scaling", c.Workers, len(sizes), func(i int) (ScalingRow, error) {
 		n := sizes[i]
 		d, err := cfg.BuildDesign(benchmark, n)
 		if err != nil {

@@ -32,7 +32,7 @@ func (c Config) Sensitivity(benchmarks []string, procs int) ([]SensitivityRow, e
 	if err != nil {
 		return nil, fmt.Errorf("sensitivity: CG design: %v", err)
 	}
-	return parallel.Map(c.Workers, len(benchmarks), func(i int) (SensitivityRow, error) {
+	return parallel.MapObserved(c.Obs, "harness.sensitivity", c.Workers, len(benchmarks), func(i int) (SensitivityRow, error) {
 		name := benchmarks[i]
 		pat, err := nas.Generate(name, procs, c.nasConfig())
 		if err != nil {

@@ -28,6 +28,7 @@ import (
 	"sort"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -44,6 +45,22 @@ type Config struct {
 	// the ratio is generally higher at 16 nodes; generators model that by
 	// scaling per-processor compute with 1/P.
 	ComputeScale float64
+	// Obs receives telemetry: the nas.* counters describing each
+	// generated pattern. Nil disables telemetry at zero cost.
+	Obs obs.Observer
+}
+
+// Normalized returns the configuration with every zero field replaced by
+// its documented default. Iterations stays zero, meaning the generator's
+// per-benchmark default.
+func (c Config) Normalized() Config {
+	if c.ByteScale == 0 {
+		c.ByteScale = 1
+	}
+	if c.ComputeScale == 0 {
+		c.ComputeScale = 1
+	}
+	return c
 }
 
 func (c Config) iters(def int) int {
@@ -100,6 +117,9 @@ func PaperProcs(name string) (small, large int) {
 
 // Generate builds the named benchmark's pattern, validating it before return.
 func Generate(name string, procs int, cfg Config) (*model.Pattern, error) {
+	cfg = cfg.Normalized()
+	sp := obs.Span(cfg.Obs, "nas.generate")
+	defer sp.End()
 	gen, ok := Generators[name]
 	if !ok {
 		return nil, fmt.Errorf("nas: unknown benchmark %q (have %v)", name, Names())
@@ -111,6 +131,9 @@ func Generate(name string, procs int, cfg Config) (*model.Pattern, error) {
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("nas: %s generator produced invalid pattern: %v", name, err)
 	}
+	obs.Count(cfg.Obs, "nas.patterns", 1)
+	obs.Count(cfg.Obs, "nas.messages", int64(len(p.Messages)))
+	obs.Count(cfg.Obs, "nas.phases", int64(len(p.Phases)))
 	return p, nil
 }
 

@@ -1,0 +1,45 @@
+package obs
+
+import "testing"
+
+// BenchmarkNopObserverCount measures the disabled telemetry path: a nil
+// Observer through the package helpers. This is the per-call overhead every
+// instrumented hot path pays when no -report sink is attached; it must stay
+// allocation-free (the ≤2% synthesis budget in ISSUE/DESIGN.md rides on it).
+func BenchmarkNopObserverCount(b *testing.B) {
+	var o Observer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Count(o, "bench.counter", 1)
+	}
+}
+
+// BenchmarkNopObserverSpan measures the disabled span path: open + close on
+// a nil Observer, which must not touch the clock or allocate.
+func BenchmarkNopObserverSpan(b *testing.B) {
+	var o Observer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Span(o, "bench.span").End()
+	}
+}
+
+// BenchmarkCollectorCount measures the enabled counter path (mutex + map).
+func BenchmarkCollectorCount(b *testing.B) {
+	c := NewCollector()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Count(c, "bench.counter", 1)
+	}
+}
+
+// BenchmarkCollectorSpan measures the enabled span path (two clock reads
+// plus the aggregate update).
+func BenchmarkCollectorSpan(b *testing.B) {
+	c := NewCollector()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Span(c, "bench.span").End()
+	}
+}

@@ -1,0 +1,87 @@
+// Package obs is the reproduction's zero-dependency telemetry layer: a
+// small Observer interface (monotonic counters, timing spans, structured
+// events) that every pipeline package accepts, a race-safe Collector sink
+// that aggregates into a schema-versioned RunReport artifact, and nil-safe
+// package helpers so the disabled path costs a nil check and nothing else —
+// no allocation, no time syscall, no lock.
+//
+// Conventions (see DESIGN.md §7):
+//
+//   - Counter and span names are dot-separated lowercase snake_case
+//     segments, the first naming the emitting package ("synth.reroutes",
+//     "flitsim.vc_stalls", "harness.fig7.cell").
+//   - Counters are monotonic sums. Everything counter-valued must be
+//     deterministic for a given input: packages whose work fans out over
+//     speculative workers (synthesis restart extension batches) accumulate
+//     into private state and emit only from the deterministic reduction.
+//   - Spans carry wall-clock time and are therefore NOT deterministic;
+//     reports separate them from counters so artifacts can be diffed on the
+//     counter section alone.
+//   - Events are bounded in number (Collector caps them) and ordered by
+//     arrival, which under concurrent emitters is nondeterministic.
+package obs
+
+// Observer is the telemetry sink threaded through the pipeline. A nil
+// Observer is the canonical "disabled" value; call sites go through the
+// package helpers (Count, Span, Emit), which make nil free. Implementations
+// must be safe for concurrent use — synthesis restarts and harness cells
+// emit from worker goroutines.
+type Observer interface {
+	// Count adds delta to the named monotonic counter.
+	Count(name string, delta int64)
+	// SpanStart opens a named timing span and returns an opaque start
+	// token to hand back to SpanEnd.
+	SpanStart(name string) int64
+	// SpanEnd closes a span previously opened with SpanStart.
+	SpanEnd(name string, start int64)
+	// Event records a one-off structured event.
+	Event(name, detail string)
+}
+
+// Count adds delta to the named counter, tolerating a nil Observer.
+func Count(o Observer, name string, delta int64) {
+	if o != nil {
+		o.Count(name, delta)
+	}
+}
+
+// Emit records an event, tolerating a nil Observer.
+func Emit(o Observer, name, detail string) {
+	if o != nil {
+		o.Event(name, detail)
+	}
+}
+
+// SpanHandle is an open timing span. The zero value (from a nil Observer)
+// is inert; End on it is a no-op. It is a plain value, so opening and
+// closing spans never allocates.
+type SpanHandle struct {
+	o     Observer
+	name  string
+	start int64
+}
+
+// Span opens a timing span on o, tolerating a nil Observer.
+func Span(o Observer, name string) SpanHandle {
+	if o == nil {
+		return SpanHandle{}
+	}
+	return SpanHandle{o: o, name: name, start: o.SpanStart(name)}
+}
+
+// End closes the span.
+func (s SpanHandle) End() {
+	if s.o != nil {
+		s.o.SpanEnd(s.name, s.start)
+	}
+}
+
+// Nop is an Observer that discards everything. The nil Observer is the
+// preferred disabled value; Nop exists for call sites that must store a
+// non-nil implementation.
+type Nop struct{}
+
+func (Nop) Count(string, int64)    {}
+func (Nop) SpanStart(string) int64 { return 0 }
+func (Nop) SpanEnd(string, int64)  {}
+func (Nop) Event(string, string)   {}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilObserverIsInert(t *testing.T) {
+	var o Observer
+	Count(o, "x.y", 1)
+	Emit(o, "x.y", "detail")
+	sp := Span(o, "x.y")
+	sp.End()
+
+	// A typed-nil *Collector inside the interface must be inert too: the
+	// CLIs hand configs a *Collector that may be nil when -report is off.
+	var c *Collector
+	o = c
+	Count(o, "x.y", 1)
+	Emit(o, "x.y", "detail")
+	Span(o, "x.y").End()
+	if c.Counter("x.y") != 0 || c.Counters() != nil || c.Events() != nil {
+		t.Fatal("nil Collector accumulated state")
+	}
+	if err := c.Report("test").Validate(); err != nil {
+		t.Fatalf("nil Collector report invalid: %v", err)
+	}
+}
+
+func TestCollectorAggregates(t *testing.T) {
+	c := NewCollector()
+	Count(c, "pkg.moves", 3)
+	Count(c, "pkg.moves", 4)
+	Count(c, "pkg.other", 1)
+	for i := 0; i < 3; i++ {
+		Span(c, "pkg.phase").End()
+	}
+	Emit(c, "pkg.note", "hello")
+
+	if got := c.Counter("pkg.moves"); got != 7 {
+		t.Errorf("pkg.moves = %d, want 7", got)
+	}
+	rep := c.Report("unit")
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("report invalid: %v", err)
+	}
+	if len(rep.Spans) != 1 || rep.Spans[0].Count != 3 {
+		t.Errorf("span aggregate = %+v, want one span with count 3", rep.Spans)
+	}
+	if len(rep.Events) != 1 || rep.Events[0].Detail != "hello" {
+		t.Errorf("events = %+v", rep.Events)
+	}
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	c := NewCollector()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Count("pkg.n", 1)
+				Span(c, "pkg.work").End()
+				c.Event("pkg.e", "x")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Counter("pkg.n"); got != 8000 {
+		t.Errorf("pkg.n = %d, want 8000", got)
+	}
+	rep := c.Report("unit")
+	if rep.Spans[0].Count != 8000 {
+		t.Errorf("span count = %d, want 8000", rep.Spans[0].Count)
+	}
+	if int64(len(rep.Events))+rep.EventsDropped != 8000 {
+		t.Errorf("events %d + dropped %d != 8000", len(rep.Events), rep.EventsDropped)
+	}
+	if len(rep.Events) > maxEvents {
+		t.Errorf("event buffer exceeded cap: %d", len(rep.Events))
+	}
+}
+
+func TestReportJSONDeterministicOrder(t *testing.T) {
+	mk := func() []byte {
+		c := NewCollector()
+		c.Count("b.two", 2)
+		c.Count("a.one", 1)
+		c.Count("c.three", 3)
+		rep := c.Report("unit")
+		var buf bytes.Buffer
+		if err := rep.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := mk(), mk()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same telemetry serialized differently:\n%s\n---\n%s", a, b)
+	}
+	if i, j := bytes.Index(a, []byte("a.one")), bytes.Index(a, []byte("c.three")); i == -1 || j == -1 || i > j {
+		t.Fatalf("counter keys not sorted:\n%s", a)
+	}
+}
+
+func TestReportRoundTripAndValidate(t *testing.T) {
+	c := NewCollector()
+	c.Count("synth.moves_evaluated", 10)
+	Span(c, "synth.run").End()
+	rep := c.Report("netgen")
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back RunReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("round-tripped report invalid: %v", err)
+	}
+	if back.Counters["synth.moves_evaluated"] != 10 {
+		t.Errorf("counter lost in round trip: %+v", back.Counters)
+	}
+}
+
+func TestValidateRejectsBadNames(t *testing.T) {
+	for _, bad := range []string{"NoDots", "Upper.case", "trailing.", ".leading", "mid..dle", "sp ace.x", ""} {
+		rep := &RunReport{Schema: ReportSchema, Version: ReportVersion, Tool: "t",
+			Counters: map[string]int64{bad: 1}}
+		if err := rep.Validate(); err == nil {
+			t.Errorf("Validate accepted counter name %q", bad)
+		} else if !strings.Contains(err.Error(), "naming convention") {
+			t.Errorf("unexpected error for %q: %v", bad, err)
+		}
+	}
+	for _, good := range []string{"a.b", "synth.moves_evaluated", "harness.fig7.cell", "p2p.v1_x"} {
+		rep := &RunReport{Schema: ReportSchema, Version: ReportVersion, Tool: "t",
+			Counters: map[string]int64{good: 1}}
+		if err := rep.Validate(); err != nil {
+			t.Errorf("Validate rejected counter name %q: %v", good, err)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ReportSchema identifies the RunReport artifact family; ReportVersion is
+// bumped on any breaking change to field names or semantics. Consumers
+// should check both before interpreting counters.
+const (
+	ReportSchema  = "noc-repro.runreport"
+	ReportVersion = 1
+)
+
+// RunReport is the JSON telemetry artifact emitted by the CLIs' -report
+// flag. Field order is fixed by this struct; Counters marshal with sorted
+// keys (encoding/json's map behavior) and Spans are sorted by name, so two
+// runs with identical telemetry serialize identically except for span/event
+// timing values, which carry wall-clock durations.
+type RunReport struct {
+	Schema  string `json:"schema"`
+	Version int    `json:"version"`
+	Tool    string `json:"tool"`
+	// Counters is the deterministic section: for a fixed input it is
+	// identical across runs and worker counts (see the package comment's
+	// determinism convention).
+	Counters map[string]int64 `json:"counters"`
+	// Spans summarize wall-clock timing per span name.
+	Spans []SpanSummary `json:"spans,omitempty"`
+	// Events is the bounded structured-event log, in arrival order.
+	Events        []EventRecord `json:"events,omitempty"`
+	EventsDropped int64         `json:"events_dropped,omitempty"`
+	// Pattern optionally embeds workload statistics (trace.Stats).
+	Pattern any `json:"pattern,omitempty"`
+}
+
+// SpanSummary aggregates every closure of one named span.
+type SpanSummary struct {
+	Name    string `json:"name"`
+	Count   int64  `json:"count"`
+	TotalNs int64  `json:"total_ns"`
+	MinNs   int64  `json:"min_ns"`
+	MaxNs   int64  `json:"max_ns"`
+}
+
+// Validate checks the report against the schema contract: identifying
+// fields present, every counter and span name well-formed under the naming
+// convention, and span aggregates internally consistent.
+func (r *RunReport) Validate() error {
+	if r.Schema != ReportSchema {
+		return fmt.Errorf("obs: schema %q, want %q", r.Schema, ReportSchema)
+	}
+	if r.Version != ReportVersion {
+		return fmt.Errorf("obs: version %d, want %d", r.Version, ReportVersion)
+	}
+	if r.Tool == "" {
+		return fmt.Errorf("obs: empty tool")
+	}
+	if r.Counters == nil {
+		return fmt.Errorf("obs: nil counters section")
+	}
+	for name := range r.Counters {
+		if !validName(name) {
+			return fmt.Errorf("obs: counter %q violates the naming convention", name)
+		}
+	}
+	for i, sp := range r.Spans {
+		if !validName(sp.Name) {
+			return fmt.Errorf("obs: span %q violates the naming convention", sp.Name)
+		}
+		if sp.Count <= 0 || sp.TotalNs < 0 || sp.MinNs < 0 || sp.MaxNs < sp.MinNs {
+			return fmt.Errorf("obs: span %q has inconsistent aggregates %+v", sp.Name, sp)
+		}
+		if i > 0 && !(r.Spans[i-1].Name < sp.Name) {
+			return fmt.Errorf("obs: spans not sorted at %q", sp.Name)
+		}
+	}
+	return nil
+}
+
+// validName enforces the counter/span naming convention: two or more
+// dot-separated segments of lowercase letters, digits, and underscores.
+func validName(name string) bool {
+	segs := 0
+	segLen := 0
+	for i := 0; i < len(name); i++ {
+		ch := name[i]
+		switch {
+		case ch == '.':
+			if segLen == 0 {
+				return false
+			}
+			segs++
+			segLen = 0
+		case ch == '_' || ch >= 'a' && ch <= 'z' || ch >= '0' && ch <= '9':
+			segLen++
+		default:
+			return false
+		}
+	}
+	return segs >= 1 && segLen > 0
+}
+
+// WriteJSON serializes the report with stable formatting.
+func (r *RunReport) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// WriteFile writes the report to path.
+func (r *RunReport) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadReportFile loads and validates a RunReport artifact.
+func ReadReportFile(path string) (*RunReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep RunReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("obs: %s: %v", path, err)
+	}
+	if err := rep.Validate(); err != nil {
+		return nil, fmt.Errorf("obs: %s: %v", path, err)
+	}
+	return &rep, nil
+}

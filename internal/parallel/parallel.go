@@ -9,6 +9,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Workers resolves a requested worker count: any value below 1 selects
@@ -89,6 +91,32 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 		return nil, firstEr
 	}
 	return results, nil
+}
+
+// MapObserved is Map wrapped in telemetry. One span named label covers the
+// whole call (wall time); a span named label+".cell" closes per item (busy
+// time), so the pool's occupancy over the call is the cell spans' total
+// divided by label's wall time times label+".workers_used". Counters
+// label+".cells" and label+".workers_used" record the fan-out shape. A nil
+// Observer falls straight through to Map.
+func MapObserved[T any](o obs.Observer, label string, workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if o == nil {
+		return Map(workers, n, fn)
+	}
+	sp := obs.Span(o, label)
+	defer sp.End()
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	obs.Count(o, label+".cells", int64(n))
+	obs.Count(o, label+".workers_used", int64(w))
+	cell := label + ".cell"
+	return Map(workers, n, func(i int) (T, error) {
+		cs := obs.Span(o, cell)
+		defer cs.End()
+		return fn(i)
+	})
 }
 
 // Run is Map for work that produces no value.

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/coloring"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/routing"
 	"repro/internal/topology"
@@ -83,20 +84,25 @@ func (s *state) finalize(name string) (*topology.Network, *routing.Table, []int,
 				continue
 			}
 			set := s.pipeAt(from, to)
+			fast := coloring.FastColorBits(s.cliqueBits, set)
 			var k int
 			var assign coloring.Assignment
 			if s.opt.GreedyFinalColoring {
 				g := coloring.BuildConflictGraphBits(set, s.conflict)
 				var raw []int
 				k, raw = g.Greedy()
+				s.stats.Coloring.DSATUR++
 				assign = make(coloring.Assignment, len(g.Flows))
 				for i, f := range g.Flows {
 					assign[f] = raw[i]
 				}
 			} else {
 				var exact bool
-				k, assign, exact = coloring.ColorPipeDirectionBits(set, s.conflict)
+				k, assign, exact = coloring.ColorPipeDirectionBitsStats(set, s.conflict, &s.stats.Coloring)
 				allExact = allExact && exact
+			}
+			if k > fast {
+				s.stats.FastColorGap += k - fast
 			}
 			assignments[[2]int{from, to}] = dirAssignment{colors: k, assign: assign}
 			pk := pairKey(from, to)
@@ -232,7 +238,9 @@ func Synthesize(p *model.Pattern, opt Options) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("synth: %v", err)
 	}
-	opt = opt.normalized()
+	opt = opt.Normalized()
+	sp := obs.Span(opt.Obs, "synth.run")
+	defer sp.End()
 	cliques := model.MaxCliqueSet(p)
 
 	// runBatch computes restarts [from, from+n) concurrently. Errors are
@@ -244,7 +252,13 @@ func Synthesize(p *model.Pattern, opt Options) (*Result, error) {
 	}
 	runBatch := func(from, n int) []runOut {
 		outs, _ := parallel.Map(opt.Workers, n, func(i int) (runOut, error) {
+			// The span is emitted from the worker (wall time); all
+			// counter-valued telemetry stays in res.Stats and is
+			// published by the in-order fold below, so speculative
+			// extension restarts never leak into the counters.
+			rsp := obs.Span(opt.Obs, "synth.restart")
 			res, err := synthesizeOnce(p, cliques, opt, opt.Seed+int64(from+i)*7919)
+			rsp.End()
 			return runOut{res: res, err: err}, nil
 		})
 		return outs
@@ -252,12 +266,14 @@ func Synthesize(p *model.Pattern, opt Options) (*Result, error) {
 
 	// The configured restarts always all run and all fold.
 	var best *Result
+	var totals Stats
 	run := 0
 	for _, out := range runBatch(0, opt.Restarts) {
 		if out.err != nil {
 			return nil, out.err
 		}
 		run++
+		totals.add(out.res.Stats)
 		if better(out.res, best) {
 			best = out.res
 		}
@@ -279,6 +295,7 @@ func Synthesize(p *model.Pattern, opt Options) (*Result, error) {
 				return nil, out.err
 			}
 			run++
+			totals.add(out.res.Stats)
 			if better(out.res, best) {
 				best = out.res
 			}
@@ -288,7 +305,41 @@ func Synthesize(p *model.Pattern, opt Options) (*Result, error) {
 		}
 	}
 	best.Stats.RestartsRun = run
+	totals.RestartsRun = run
+	emitSynthObs(opt.Obs, totals, best)
 	return best, nil
+}
+
+// emitSynthObs publishes one synthesis run's aggregate effort. It runs once
+// per Synthesize, after the deterministic in-order restart fold, with the
+// totals of exactly the restarts that folded — so every counter is
+// identical for any Options.Workers value even when speculative extension
+// batches over-ran (their discarded results never reach totals).
+func emitSynthObs(o obs.Observer, totals Stats, best *Result) {
+	if o == nil {
+		return
+	}
+	obs.Count(o, "synth.runs", 1)
+	obs.Count(o, "synth.restarts_run", int64(totals.RestartsRun))
+	obs.Count(o, "synth.splits", int64(totals.Splits))
+	obs.Count(o, "synth.moves_evaluated", int64(totals.MovesEvaluated))
+	obs.Count(o, "synth.moves_committed", int64(totals.MovesCommitted))
+	obs.Count(o, "synth.moves_rejected", int64(totals.MovesRejected))
+	obs.Count(o, "synth.reroutes", int64(totals.Reroutes))
+	obs.Count(o, "synth.global_moves", int64(totals.GlobalMoves))
+	obs.Count(o, "synth.rounds", int64(totals.Rounds))
+	obs.Count(o, "synth.repairs", int64(totals.Repairs))
+	obs.Count(o, "synth.bisection_depth", int64(totals.MaxDepth))
+	obs.Count(o, "synth.fastcolor_width_gap", int64(totals.FastColorGap))
+	totals.Coloring.Emit(o)
+	obs.Count(o, "synth.switches", int64(best.Net.NumSwitches()))
+	obs.Count(o, "synth.links", int64(best.Net.TotalLinks()))
+	if !best.ConstraintsMet {
+		obs.Emit(o, "synth.constraints_unmet", best.Net.Name)
+	}
+	if !best.ContentionFree {
+		obs.Emit(o, "synth.contention_witnesses", fmt.Sprintf("%s: %d", best.Net.Name, len(best.Witnesses)))
+	}
 }
 
 func better(a, b *Result) bool {

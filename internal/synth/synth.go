@@ -21,7 +21,9 @@ import (
 	"math/rand"
 	"sort"
 
+	"repro/internal/coloring"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // Constraints are the design constraints of Section 3.4.
@@ -71,9 +73,16 @@ type Options struct {
 	GreedyFinalColoring bool
 	// MaxRounds bounds the outer partition-finalize loop (default 16).
 	MaxRounds int
+	// Obs receives telemetry: per-restart spans plus the synth.* and
+	// coloring.* counters, emitted once from the deterministic restart
+	// fold so counter values are identical for every Workers setting.
+	// Nil disables telemetry at zero cost.
+	Obs obs.Observer
 }
 
-func (o Options) normalized() Options {
+// Normalized returns the options with every zero field replaced by its
+// documented default.
+func (o Options) Normalized() Options {
 	if o.MaxDegree == 0 {
 		o.MaxDegree = 5
 	}
@@ -100,11 +109,42 @@ type Stats struct {
 	Splits         int
 	MovesEvaluated int
 	MovesCommitted int
-	Reroutes       int
-	GlobalMoves    int
-	Rounds         int
-	RestartsRun    int
-	Repairs        int
+	// MovesRejected counts annealing moves tried and rolled back by the
+	// temperature schedule (zero under pure greedy descent).
+	MovesRejected int
+	Reroutes      int
+	GlobalMoves   int
+	Rounds        int
+	RestartsRun   int
+	Repairs       int
+	// MaxDepth is the deepest bisection level any switch reached (the
+	// root megaswitch is level 0; each split puts the new half one level
+	// below the switch it came from).
+	MaxDepth int
+	// FastColorGap sums, over every finalized pipe direction, the formal
+	// coloring's width minus the Fast_Color estimate — how optimistic the
+	// partitioning-time width bound was.
+	FastColorGap int
+	// Coloring accounts the finalization solvers' effort.
+	Coloring coloring.Stats
+}
+
+// add merges another restart's counts: sums everywhere except MaxDepth,
+// which takes the maximum.
+func (s *Stats) add(t Stats) {
+	s.Splits += t.Splits
+	s.MovesEvaluated += t.MovesEvaluated
+	s.MovesCommitted += t.MovesCommitted
+	s.MovesRejected += t.MovesRejected
+	s.Reroutes += t.Reroutes
+	s.GlobalMoves += t.GlobalMoves
+	s.Rounds += t.Rounds
+	s.Repairs += t.Repairs
+	if t.MaxDepth > s.MaxDepth {
+		s.MaxDepth = t.MaxDepth
+	}
+	s.FastColorGap += t.FastColorGap
+	s.Coloring.Add(t.Coloring)
 }
 
 // state is the mutable partitioning state. Switches are dense indices; the
@@ -132,6 +172,7 @@ type state struct {
 
 	home    []int   // processor -> switch
 	swProcs [][]int // switch -> processors
+	swDepth []int   // switch -> bisection level (root megaswitch = 0)
 	routes  [][]int // flow ID -> switch path
 
 	// Pipes and the estWidth memo are dense stride×stride matrices over
@@ -179,6 +220,7 @@ func newState(p *model.Pattern, cliques []model.Clique, opt Options, seed int64,
 	s.growStride(8)
 	all := make([]int, p.Procs)
 	s.swProcs = [][]int{all}
+	s.swDepth = []int{0}
 	for i := range all {
 		all[i] = i
 	}
@@ -292,6 +334,10 @@ func (s *state) directRoute(fi int) []int {
 func (s *state) split(sw int) int {
 	j := len(s.swProcs)
 	s.swProcs = append(s.swProcs, nil)
+	s.swDepth = append(s.swDepth, s.swDepth[sw]+1)
+	if d := s.swDepth[j]; d > s.stats.MaxDepth {
+		s.stats.MaxDepth = d
+	}
 	s.growStride(len(s.swProcs))
 	ps := append([]int(nil), s.swProcs[sw]...)
 	s.rng.Shuffle(len(ps), func(a, b int) { ps[a], ps[b] = ps[b], ps[a] })
@@ -504,6 +550,7 @@ func (s *state) annealMoves(i, j int) {
 				s.bestRoute([]int{i, j}, []int{i, j})
 			}
 		} else {
+			s.stats.MovesRejected++
 			undo()
 		}
 		temp *= s.opt.Anneal.Cooling

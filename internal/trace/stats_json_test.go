@@ -1,0 +1,42 @@
+package trace
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestStatsJSONGolden pins the exact serialization of Stats: it is embedded
+// under the "pattern" key of RunReport artifacts, so a renamed or untagged
+// field is a schema break, not a refactor.
+func TestStatsJSONGolden(t *testing.T) {
+	st := Stats{
+		Procs:        16,
+		Messages:     1248,
+		Flows:        88,
+		Phases:       30,
+		Periods:      60,
+		MaxPeriods:   12,
+		LargestCliq:  4,
+		TotalBytes:   2162688,
+		Span:         416.5,
+		ContentionSz: 132,
+	}
+	got, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `{"procs":16,"messages":1248,"flows":88,"phases":30,` +
+		`"periods":60,"max_periods":12,"largest_clique":4,` +
+		`"total_bytes":2162688,"span":416.5,"contention_size":132}`
+	if string(got) != want {
+		t.Errorf("Stats JSON changed:\n got %s\nwant %s", got, want)
+	}
+
+	var back Stats
+	if err := json.Unmarshal(got, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != st {
+		t.Errorf("round trip changed value: got %+v want %+v", back, st)
+	}
+}

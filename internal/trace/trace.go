@@ -111,18 +111,20 @@ func clonePhases(ps []model.Phase) []model.Phase {
 	return out
 }
 
-// Stats summarizes a pattern for reporting.
+// Stats summarizes a pattern for reporting. It serializes under the
+// "pattern" key of the RunReport artifact (see internal/obs), so the JSON
+// tags are part of the report schema and stable.
 type Stats struct {
-	Procs        int
-	Messages     int
-	Flows        int
-	Phases       int
-	Periods      int
-	MaxPeriods   int
-	LargestCliq  int
-	TotalBytes   int
-	Span         float64
-	ContentionSz int
+	Procs        int     `json:"procs"`
+	Messages     int     `json:"messages"`
+	Flows        int     `json:"flows"`
+	Phases       int     `json:"phases"`
+	Periods      int     `json:"periods"`
+	MaxPeriods   int     `json:"max_periods"`
+	LargestCliq  int     `json:"largest_clique"`
+	TotalBytes   int     `json:"total_bytes"`
+	Span         float64 `json:"span"`
+	ContentionSz int     `json:"contention_size"`
 }
 
 // Summarize computes pattern statistics, including the contention-model view
