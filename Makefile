@@ -4,7 +4,7 @@
 # reduction cannot pass by luck.
 GO ?= go
 
-.PHONY: verify vet build test race determinism bench bench-synth bench-obs bench-all fuzz
+.PHONY: verify vet build test race determinism bench bench-synth bench-obs bench-flitsim bench-all fuzz
 
 verify: vet build race determinism
 
@@ -43,7 +43,21 @@ bench-obs:
 		| $(GO) run ./cmd/benchjson -o BENCH_obs.json -raw BENCH_obs.txt \
 			-baseline BENCH_synth.json -budget 2
 
-bench: bench-synth bench-obs
+# bench-flitsim is the simulator-engine speedup gate: it runs the flitsim
+# benchmarks (the compute-gap-heavy CG pair plus the mesh/torus/crossbar
+# workloads), writes BENCH_flitsim.json/.txt, and fails unless the
+# event-driven engine beats the cycle-stepping reference by >= 10x on the
+# gap-heavy trace. Both engines run in the same invocation on the same
+# machine, so the ratio gate needs no committed baseline to be meaningful;
+# the -baseline annotation (when BENCH_flitsim.json exists) additionally
+# flags absolute ns/op regressions over 25%.
+bench-flitsim:
+	$(GO) test -run '^$$' -bench 'Simulate|Simulation' -benchmem ./internal/flitsim \
+		| $(GO) run ./cmd/benchjson -o BENCH_flitsim.json -raw BENCH_flitsim.txt \
+			-ratio 'BenchmarkSimulateCG16GapMeshReference:BenchmarkSimulateCG16GapMesh' -min-ratio 10 \
+			$(if $(wildcard BENCH_flitsim.json),-baseline BENCH_flitsim.json -budget 25)
+
+bench: bench-synth bench-obs bench-flitsim
 
 bench-all:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...

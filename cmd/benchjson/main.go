@@ -13,6 +13,14 @@
 // benchmark slower than baseline by more than that percentage fails the
 // run with exit status 1 — the regression gate `make bench-obs` uses to
 // keep telemetry overhead under 2%.
+//
+// With -ratio NUM:DEN (two benchmark names, GOMAXPROCS suffix optional,
+// separated by ':' since names may contain '/'), the report gains a
+// speedup record ns(NUM)/ns(DEN); with -min-ratio, the run fails when the
+// measured ratio falls below that floor. Because both sides run on the
+// same machine in the same invocation, the gate is machine-independent —
+// `make bench-flitsim` uses it to hold the reference-engine/event-engine
+// speedup at >= 10x.
 package main
 
 import (
@@ -41,12 +49,22 @@ type Result struct {
 	VsBaselinePct   *float64 `json:"vs_baseline_pct,omitempty"`
 }
 
+// Ratio is the speedup record produced by -ratio: Value is the numerator
+// benchmark's ns/op divided by the denominator's.
+type Ratio struct {
+	Numerator   string  `json:"numerator"`
+	Denominator string  `json:"denominator"`
+	Value       float64 `json:"value"`
+	MinRatio    float64 `json:"min_ratio,omitempty"`
+}
+
 // Report is the emitted JSON document.
 type Report struct {
 	Goos    string   `json:"goos,omitempty"`
 	Goarch  string   `json:"goarch,omitempty"`
 	CPU     string   `json:"cpu,omitempty"`
 	Results []Result `json:"results"`
+	Ratio   *Ratio   `json:"ratio,omitempty"`
 }
 
 func main() {
@@ -54,6 +72,8 @@ func main() {
 	raw := flag.String("raw", "", "also copy the raw benchmark text to this file")
 	baseline := flag.String("baseline", "", "baseline JSON report to annotate ns/op deltas against")
 	budget := flag.Float64("budget", 0, "fail when any matched benchmark is slower than -baseline by more than this percent")
+	ratio := flag.String("ratio", "", "NUM:DEN benchmark names; record the ns/op ratio ns(NUM)/ns(DEN)")
+	minRatio := flag.Float64("min-ratio", 0, "fail when the -ratio value is below this floor")
 	flag.Parse()
 
 	var rawBuf strings.Builder
@@ -108,6 +128,18 @@ func main() {
 			}
 		}
 	}
+	if *ratio != "" {
+		r, err := computeRatio(&rep, *ratio, *minRatio)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Ratio = r
+		if *minRatio > 0 && r.Value < *minRatio {
+			regressions = append(regressions,
+				fmt.Sprintf("speedup %s / %s = %.2fx, below floor %.2fx",
+					r.Numerator, r.Denominator, r.Value, *minRatio))
+		}
+	}
 	if *raw != "" {
 		if err := os.WriteFile(*raw, []byte(rawBuf.String()), 0o644); err != nil {
 			fatal(err)
@@ -129,6 +161,41 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// computeRatio resolves the -ratio spec against the parsed results. Names
+// match with the GOMAXPROCS suffix stripped on both sides.
+func computeRatio(rep *Report, spec string, minRatio float64) (*Ratio, error) {
+	num, den, ok := strings.Cut(spec, ":")
+	if !ok || num == "" || den == "" {
+		return nil, fmt.Errorf("-ratio %q: want NUM:DEN benchmark names", spec)
+	}
+	find := func(name string) (Result, error) {
+		want := stripGomaxprocs(name)
+		for _, r := range rep.Results {
+			if stripGomaxprocs(r.Name) == want {
+				return r, nil
+			}
+		}
+		return Result{}, fmt.Errorf("-ratio: benchmark %q not found in input", name)
+	}
+	rn, err := find(num)
+	if err != nil {
+		return nil, err
+	}
+	rd, err := find(den)
+	if err != nil {
+		return nil, err
+	}
+	if rd.NsPerOp == 0 {
+		return nil, fmt.Errorf("-ratio: denominator %q has 0 ns/op", den)
+	}
+	return &Ratio{
+		Numerator:   stripGomaxprocs(rn.Name),
+		Denominator: stripGomaxprocs(rd.Name),
+		Value:       rn.NsPerOp / rd.NsPerOp,
+		MinRatio:    minRatio,
+	}, nil
 }
 
 // loadBaseline reads a prior benchjson report and indexes its results by

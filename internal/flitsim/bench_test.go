@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/model"
+	"repro/internal/nas"
 	"repro/internal/trace"
 )
 
@@ -46,6 +47,40 @@ func BenchmarkCrossbarSimulation(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := RunCrossbar(pat, Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// gapHeavyCG is the compute-gap-heavy trace behind the engine speedup gate:
+// a 16-node NAS CG with scaled-up compute phases, the regime where the
+// reference engine spins millions of idle cycles the event-driven core
+// fast-forwards across. `make bench-flitsim` holds the ratio of the two
+// BenchmarkSimulateCG16Gap* results at >= 10x.
+func gapHeavyCG(b *testing.B) *model.Pattern {
+	pat, err := nas.Generate("CG", 16, nas.Config{Iterations: 2, ComputeScale: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pat
+}
+
+func BenchmarkSimulateCG16GapMesh(b *testing.B) {
+	pat := gapHeavyCG(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunMesh(pat, Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulateCG16GapMeshReference(b *testing.B) {
+	pat := gapHeavyCG(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunMesh(pat, Config{ReferenceEngine: true}); err != nil {
 			b.Fatal(err)
 		}
 	}

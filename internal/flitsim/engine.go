@@ -2,12 +2,25 @@ package flitsim
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/model"
 	"repro/internal/obs"
 )
 
-// engine drives the cycle-by-cycle simulation.
+// engine is the event-driven simulation core. It produces results
+// byte-identical to the cycle-stepping reference engine (engine_ref.go) but
+// runs far faster on real traces by:
+//
+//   - fast-forwarding e.now across provably idle gaps (long NAS compute
+//     phases, link pipeline transit, deadlock backoff) instead of spinning
+//     empty cycles — see nextCycle for the wake-up invariants;
+//   - keying hot state off dense slices (message-ID-indexed packet arena
+//     and readyAt, channel-ID-indexed input-used stamps) instead of maps,
+//     with generation stamps replacing per-cycle map clears;
+//   - recycling all per-simulation scratch (packet arena, NI states,
+//     eligible-VC buffers) through a sync.Pool so steady-state simulation
+//     and harness sweeps allocate ~nothing per cycle.
 type engine struct {
 	fb     *fabric
 	cfg    Config
@@ -15,9 +28,11 @@ type engine struct {
 	pat    *model.Pattern
 
 	nis        []*niState
-	packets    map[int]*packet // by message ID
-	allPackets []*packet       // creation order, for deterministic scans
-	readyAt    map[int]int64   // message ID -> cycle its recv may complete
+	niArena    []niState
+	pktArena   []packet  // message-ID-indexed packet free-list
+	packets    []*packet // message ID -> packet, nil until posted
+	allPackets []*packet // creation order, for deterministic scans
+	readyAt    []int64   // message ID -> cycle its recv may complete, -1 unknown
 	now        int64
 	kills      int
 	victims    int // distinct packets ever killed (first-kill events)
@@ -28,37 +43,198 @@ type engine struct {
 	latMax int64
 	latN   int
 
-	inputUsed map[*channel]bool
+	// inputUsed[ch.id] == usedStamp marks the input channel as consumed by
+	// this cycle's switch allocation; bumping the stamp replaces clearing.
+	inputUsed []int64
+	usedStamp int64
+
+	// Aggregate occupancy counters driving the cycle-skip decision. They
+	// are maintained incrementally and never consulted for results.
+	inflightCount int   // flits on wires
+	nextArrival   int64 // lower bound on the earliest inflight arrival
+	buffered      int   // flits sitting in VC buffers
+	undelivered   int   // posted network packets not yet fully received
+
+	// netPackets holds the undelivered packets with at least one flit
+	// sent, in arbitrary order (swap-free linear removal). Only
+	// order-independent reductions (the recovery wake-up minimum) may
+	// scan it; victim selection scans allPackets in creation order.
+	netPackets []*packet
+
+	// routedTo[ch.id] lists the input VCs currently allocated to output
+	// channel ch (v.out.ch == ch), sorted by vcBuf.seq so forward()
+	// considers them in the reference engine's arbitration order.
+	routedTo [][]*vcBuf
+	// liveCh lists channels with flits on the wire, so arrival delivery
+	// never scans idle channels. Order is irrelevant: a channel delivers
+	// only into its own VC buffers, so per-channel delivery is
+	// independent, and the arrival-minimum reduction is commutative.
+	liveCh []*channel
+	chLive []bool
+	// bufInCh[ch.id] counts flits buffered across ch's VCs, letting
+	// allocate/eject skip empty channels.
+	bufInCh []int
+	// routedChs holds the IDs of channels with a non-empty routedTo list,
+	// sorted ascending — i.e. fb.channels order, which switch allocation
+	// must follow because moving a flit consumes its input channel for
+	// every later output in the same cycle. fwdChs is the per-cycle
+	// snapshot forward() iterates while routeOut edits the live list.
+	routedChs []int
+	fwdChs    []int
+
+	eligible []*vcBuf // forward() scratch
 }
+
+// farFuture is the nextArrival sentinel when no flit is on a wire.
+const farFuture = int64(1) << 62
+
+var enginePool = sync.Pool{New: func() any { return new(engine) }}
 
 // Simulate runs the pattern on the network under the given router and
 // returns aggregate results. Deterministic: identical inputs produce
-// identical results.
+// identical results. The event-driven core is used unless the configuration
+// selects the retained reference engine.
 func Simulate(pat *model.Pattern, router Router, fb *fabric) (Result, error) {
-	e := &engine{
-		fb:        fb,
-		cfg:       fb.cfg,
-		router:    router,
-		pat:       pat,
-		packets:   make(map[int]*packet),
-		readyAt:   make(map[int]int64),
-		inputUsed: make(map[*channel]bool),
+	if fb.cfg.ReferenceEngine {
+		return simulateReference(pat, router, fb)
 	}
+	e := enginePool.Get().(*engine)
+	e.reset(pat, router, fb)
+	err := e.run()
+	res := e.results()
+	e.release()
+	return res, err
+}
+
+// reset prepares a pooled engine for one simulation, pre-sizing every dense
+// slice from the pattern and fabric instead of growing by append.
+func (e *engine) reset(pat *model.Pattern, router Router, fb *fabric) {
+	e.fb, e.cfg, e.router, e.pat = fb, fb.cfg, router, pat
+	e.now, e.kills, e.victims, e.vcStalls, e.flitHops = 0, 0, 0, 0, 0
+	e.latSum, e.latMax, e.latN = 0, 0, 0
+	e.usedStamp = 0
+	e.inflightCount, e.buffered, e.undelivered = 0, 0, 0
+	e.nextArrival = farFuture
+	e.netPackets = e.netPackets[:0]
+
+	nMsg := len(pat.Messages)
+	if cap(e.pktArena) < nMsg {
+		e.pktArena = make([]packet, nMsg)
+	} else {
+		e.pktArena = e.pktArena[:nMsg]
+	}
+	if cap(e.packets) < nMsg {
+		e.packets = make([]*packet, nMsg)
+	} else {
+		e.packets = e.packets[:nMsg]
+		clear(e.packets)
+	}
+	if cap(e.allPackets) < nMsg {
+		e.allPackets = make([]*packet, 0, nMsg)
+	}
+	if cap(e.readyAt) < nMsg {
+		e.readyAt = make([]int64, nMsg)
+	} else {
+		e.readyAt = e.readyAt[:nMsg]
+	}
+	for i := range e.readyAt {
+		e.readyAt[i] = -1
+	}
+	nCh := len(fb.channels)
+	if cap(e.inputUsed) < nCh {
+		e.inputUsed = make([]int64, nCh)
+	} else {
+		e.inputUsed = e.inputUsed[:nCh]
+		clear(e.inputUsed)
+	}
+	if cap(e.bufInCh) < nCh {
+		e.bufInCh = make([]int, nCh)
+	} else {
+		e.bufInCh = e.bufInCh[:nCh]
+		clear(e.bufInCh)
+	}
+	if cap(e.chLive) < nCh {
+		e.chLive = make([]bool, nCh)
+	} else {
+		e.chLive = e.chLive[:nCh]
+		clear(e.chLive)
+	}
+	e.liveCh = e.liveCh[:0]
+	if cap(e.routedTo) < nCh {
+		rt := make([][]*vcBuf, nCh)
+		copy(rt, e.routedTo)
+		e.routedTo = rt
+	} else {
+		e.routedTo = e.routedTo[:nCh]
+	}
+	for i := range e.routedTo {
+		e.routedTo[i] = e.routedTo[i][:0]
+	}
+	e.routedChs = e.routedChs[:0]
+
 	scripts := buildScripts(pat, e.cfg)
-	for p := 0; p < pat.Procs; p++ {
-		e.nis = append(e.nis, &niState{proc: p, script: scripts[p]})
+	if cap(e.niArena) < pat.Procs {
+		e.niArena = make([]niState, pat.Procs)
+		e.nis = make([]*niState, pat.Procs)
+	} else {
+		e.niArena = e.niArena[:pat.Procs]
+		e.nis = e.nis[:pat.Procs]
 	}
-	for e.now = 0; ; e.now++ {
+	for p := range e.niArena {
+		ni := &e.niArena[p]
+		q := ni.queue[:0]
+		*ni = niState{proc: p, script: scripts[p], queue: q}
+		e.nis[p] = ni
+	}
+}
+
+// release drops everything a pooled engine could keep alive (fabric, routes,
+// observers) while preserving slice capacity, then returns it to the pool.
+func (e *engine) release() {
+	for i := range e.pktArena {
+		rl := e.pktArena[i].routeLink
+		e.pktArena[i] = packet{routeLink: rl[:0]}
+	}
+	clear(e.packets)
+	clear(e.allPackets)
+	e.allPackets = e.allPackets[:0]
+	clear(e.eligible)
+	e.eligible = e.eligible[:0]
+	clear(e.netPackets)
+	e.netPackets = e.netPackets[:0]
+	clear(e.liveCh)
+	e.liveCh = e.liveCh[:0]
+	for i := range e.routedTo {
+		clear(e.routedTo[i])
+		e.routedTo[i] = e.routedTo[i][:0]
+	}
+	for i := range e.niArena {
+		ni := &e.niArena[i]
+		clear(ni.queue)
+		q := ni.queue[:0]
+		*ni = niState{queue: q}
+	}
+	e.fb, e.router, e.pat = nil, nil, nil
+	e.cfg = Config{}
+	enginePool.Put(e)
+}
+
+// run is the main loop: process the current cycle, then jump e.now to the
+// next cycle at which any state transition is possible.
+func (e *engine) run() error {
+	for e.now = 0; ; {
 		if e.now > e.cfg.MaxCycles {
 			if dbgWedge {
-				e.dumpWedge()
+				dumpWedgeState(e.fb, e.nis, e.allPackets)
 			}
-			obs.Emit(e.cfg.Obs, "flitsim.wedged",
-				fmt.Sprintf("%s on %s exceeded %d cycles", pat.Name, fb.net.Name, e.cfg.MaxCycles))
+			if e.cfg.Obs != nil {
+				obs.Emit(e.cfg.Obs, "flitsim.wedged",
+					fmt.Sprintf("%s on %s exceeded %d cycles", e.pat.Name, e.fb.net.Name, e.cfg.MaxCycles))
+			}
 			// Return the partial results alongside the error so
 			// callers can diagnose what wedged.
-			return e.results(), fmt.Errorf("flitsim: %s on %s exceeded %d cycles (likely livelock)",
-				pat.Name, fb.net.Name, e.cfg.MaxCycles)
+			return fmt.Errorf("flitsim: %s on %s exceeded %d cycles (likely livelock)",
+				e.pat.Name, e.fb.net.Name, e.cfg.MaxCycles)
 		}
 		e.deliverArrivals()
 		e.stepScripts()
@@ -70,25 +246,216 @@ func Simulate(pat *model.Pattern, router Router, fb *fabric) (Result, error) {
 			e.recoverDeadlocks()
 		}
 		if e.finished() {
+			return nil
+		}
+		e.now = e.nextCycle()
+	}
+}
+
+// nextCycle returns the earliest cycle after e.now at which any engine
+// state transition is possible; every cycle strictly in between is provably
+// identical to a reference-engine no-op cycle and is skipped. The wake-up
+// sources (DESIGN.md §8):
+//
+//  1. A flit buffered anywhere: switch allocation, forwarding, or ejection
+//     may act every cycle, so no skip is possible.
+//  2. An NI queue head past its retransmit backoff (or a stale queue entry
+//     awaiting its defensive dequeue): injection may act every cycle.
+//  3. The earliest in-flight arrival (lower-bounded by e.nextArrival).
+//  4. The earliest script wake-up: busyUntil for compute/send overheads,
+//     max(readyAt, opStart+RecvOverhead) for a posted receive.
+//  5. The earliest deadlock-recovery tick (multiple of 32) at which some
+//     in-network packet will have exceeded its doubling stall tolerance.
+//
+// Any event that would change one of these bounds (an arrival filling a
+// buffer, a kill resetting lastProgress) can itself only happen at a cycle
+// returned here, so the fast-forward is exact, not heuristic.
+func (e *engine) nextCycle() int64 {
+	horizon := e.cfg.MaxCycles + 1
+	if e.buffered > 0 {
+		return e.now + 1
+	}
+	next := horizon
+	if e.inflightCount > 0 && e.nextArrival < next {
+		next = e.nextArrival
+	}
+	for _, ni := range e.nis {
+		if len(ni.queue) > 0 {
+			head := ni.queue[0]
+			if head.delivered || head.sent >= head.flits {
+				// Stale entry: inject dequeues it next cycle.
+				return e.now + 1
+			}
+			if head.notBefore <= e.now {
+				return e.now + 1
+			}
+			if head.notBefore < next {
+				next = head.notBefore
+			}
+		}
+		if ni.done() {
+			continue
+		}
+		o := &ni.script[ni.pc]
+		switch o.kind {
+		case opCompute, opSend:
+			if ni.busyUntil <= e.now {
+				return e.now + 1
+			}
+			if ni.busyUntil < next {
+				next = ni.busyUntil
+			}
+		case opRecv:
+			ready := e.readyAt[o.msg]
+			if ready < 0 {
+				continue // woken by a future ejection (an arrival event)
+			}
+			wake := ni.opStart + int64(e.cfg.RecvOverhead)
+			if ready > wake {
+				wake = ready
+			}
+			if wake <= e.now {
+				return e.now + 1
+			}
+			if wake < next {
+				next = wake
+			}
+		}
+	}
+	if len(e.netPackets) > 0 {
+		base := int64(e.cfg.DeadlockTimeout)
+		for _, pkt := range e.netPackets {
+			shift := pkt.retries
+			if shift > 6 {
+				shift = 6
+			}
+			t := pkt.lastProgress + (base << shift) + 1
+			if t <= e.now {
+				t = e.now + 1
+			}
+			// Recovery only scans on multiples of 32.
+			t = (t + 31) &^ 31
+			if t < next {
+				next = t
+			}
+		}
+	}
+	if next > horizon {
+		next = horizon
+	}
+	if next <= e.now {
+		next = e.now + 1
+	}
+	return next
+}
+
+// addInflight places a flit on a channel's wire, maintaining the arrival
+// lower bound the cycle-skip relies on.
+func (e *engine) addInflight(c *channel, inf inflightFlit) {
+	c.inflight = append(c.inflight, inf)
+	e.inflightCount++
+	if inf.at < e.nextArrival {
+		e.nextArrival = inf.at
+	}
+	if !e.chLive[c.id] {
+		e.chLive[c.id] = true
+		e.liveCh = append(e.liveCh, c)
+	}
+}
+
+// routeIn records that input VC v was allocated output VC v.out,
+// insertion-sorting by seq to preserve reference arbitration order.
+func (e *engine) routeIn(v *vcBuf) {
+	id := v.out.ch.id
+	lst := append(e.routedTo[id], v)
+	i := len(lst) - 1
+	for i > 0 && lst[i-1].seq > v.seq {
+		lst[i] = lst[i-1]
+		i--
+	}
+	lst[i] = v
+	e.routedTo[id] = lst
+	if len(lst) == 1 {
+		chs := append(e.routedChs, id)
+		j := len(chs) - 1
+		for j > 0 && chs[j-1] > id {
+			chs[j] = chs[j-1]
+			j--
+		}
+		chs[j] = id
+		e.routedChs = chs
+	}
+}
+
+// routeOut removes v from its output channel's routed list; call before
+// clearing v.out.
+func (e *engine) routeOut(v *vcBuf) {
+	id := v.out.ch.id
+	lst := e.routedTo[id]
+	for i, x := range lst {
+		if x == v {
+			copy(lst[i:], lst[i+1:])
+			lst[len(lst)-1] = nil
+			e.routedTo[id] = lst[:len(lst)-1]
 			break
 		}
 	}
-	return e.results(), nil
+	if len(e.routedTo[id]) == 0 {
+		chs := e.routedChs
+		for i, x := range chs {
+			if x == id {
+				copy(chs[i:], chs[i+1:])
+				e.routedChs = chs[:len(chs)-1]
+				return
+			}
+		}
+	}
+}
+
+// dropNet removes a delivered or killed packet from the in-network list.
+func (e *engine) dropNet(pkt *packet) {
+	lst := e.netPackets
+	for i, x := range lst {
+		if x == pkt {
+			lst[i] = lst[len(lst)-1]
+			lst[len(lst)-1] = nil
+			e.netPackets = lst[:len(lst)-1]
+			return
+		}
+	}
 }
 
 func (e *engine) deliverArrivals() {
-	for _, c := range e.fb.channels {
+	if e.inflightCount == 0 || e.now < e.nextArrival {
+		return
+	}
+	next := farFuture
+	live := e.liveCh[:0]
+	for _, c := range e.liveCh {
 		kept := c.inflight[:0]
 		for _, inf := range c.inflight {
 			if inf.at <= e.now {
 				inf.to.buf = append(inf.to.buf, inf.f)
 				inf.to.inTransit--
+				e.inflightCount--
+				e.buffered++
+				e.bufInCh[c.id]++
 			} else {
+				if inf.at < next {
+					next = inf.at
+				}
 				kept = append(kept, inf)
 			}
 		}
 		c.inflight = kept
+		if len(kept) > 0 {
+			live = append(live, c)
+		} else {
+			e.chLive[c.id] = false
+		}
 	}
+	e.liveCh = live
+	e.nextArrival = next
 }
 
 // stepScripts advances every processor's script until it blocks.
@@ -131,8 +498,8 @@ func (e *engine) stepOne(ni *niState) bool {
 			ni.started = true
 			ni.opStart = e.now
 		}
-		ready, ok := e.readyAt[o.msg]
-		if !ok || e.now < ready || e.now < ni.opStart+int64(e.cfg.RecvOverhead) {
+		ready := e.readyAt[o.msg]
+		if ready < 0 || e.now < ready || e.now < ni.opStart+int64(e.cfg.RecvOverhead) {
 			return false
 		}
 		ni.comm += e.now - ni.opStart
@@ -142,18 +509,22 @@ func (e *engine) stepOne(ni *niState) bool {
 	return true
 }
 
-// postSend creates the packet and queues it at the NI (or delivers it
-// immediately for a self-message, which never enters the network).
+// postSend takes the packet from the message-indexed arena and queues it at
+// the NI (or delivers it immediately for a self-message, which never enters
+// the network).
 func (e *engine) postSend(ni *niState, msgID int) {
 	m := e.pat.Messages[msgID]
 	flits := 1 + (m.Bytes+e.cfg.FlitBytes-1)/e.cfg.FlitBytes
-	pkt := &packet{
+	pkt := &e.pktArena[msgID]
+	rl := pkt.routeLink[:0]
+	*pkt = packet{
 		msgID:        msgID,
 		src:          m.Src,
 		dst:          m.Dst,
 		flits:        flits,
 		postedAt:     e.now,
 		lastProgress: e.now,
+		routeLink:    rl,
 	}
 	e.packets[msgID] = pkt
 	e.allPackets = append(e.allPackets, pkt)
@@ -169,6 +540,7 @@ func (e *engine) postSend(ni *niState, msgID int) {
 		// loudly via panic — Simulate callers validate routes first.
 		panic(err)
 	}
+	e.undelivered++
 	ni.queue = append(ni.queue, pkt)
 }
 
@@ -203,8 +575,11 @@ func (e *engine) inject() {
 		}
 		f := flit{pkt: pkt, head: pkt.sent == 0, tail: pkt.sent == pkt.flits-1}
 		pkt.sent++
+		if pkt.sent == 1 {
+			e.netPackets = append(e.netPackets, pkt)
+		}
 		v.inTransit++
-		ch.inflight = append(ch.inflight, inflightFlit{f: f, to: v, at: e.now + int64(ch.delay)})
+		e.addInflight(ch, inflightFlit{f: f, to: v, at: e.now + int64(ch.delay)})
 		ch.carried++
 		e.flitHops++
 		pkt.lastProgress = e.now
@@ -217,8 +592,11 @@ func (e *engine) inject() {
 // allocate performs routing and VC allocation for every input VC whose
 // front flit is a packet head without a downstream VC yet.
 func (e *engine) allocate() {
+	if e.buffered == 0 {
+		return
+	}
 	for _, c := range e.fb.channels {
-		if c.dst.kind != endSwitch {
+		if c.dst.kind != endSwitch || e.bufInCh[c.id] == 0 {
 			continue
 		}
 		sw := c.dst.id
@@ -232,6 +610,7 @@ func (e *engine) allocate() {
 				if fv := ej.freeVC(); fv != nil {
 					fv.owner = pkt
 					v.out = fv
+					e.routeIn(v)
 				} else {
 					e.vcStalls++
 				}
@@ -241,6 +620,7 @@ func (e *engine) allocate() {
 				if fv := cand.Ch.freeVCOf(cand.VCs); fv != nil {
 					fv.owner = pkt
 					v.out = fv
+					e.routeIn(v)
 					break
 				}
 			}
@@ -254,24 +634,28 @@ func (e *engine) allocate() {
 // forward moves one flit per output channel per cycle, respecting one flit
 // per input physical channel per cycle (switch allocation).
 func (e *engine) forward() {
-	for k := range e.inputUsed {
-		delete(e.inputUsed, k)
+	if e.buffered == 0 {
+		return
 	}
-	for _, c := range e.fb.channels {
-		if c.src.kind != endSwitch {
-			continue // injection handled separately
-		}
-		sw := c.src.id
-		// Eligible input VCs at this switch targeting this channel.
-		var eligible []*vcBuf
-		for _, in := range e.fb.inOf[sw] {
-			if e.inputUsed[in] {
-				continue
-			}
-			for _, v := range in.vcs {
-				if v.out != nil && v.out.ch == c && len(v.buf) > 0 && v.out.space(e.cfg.BufFlits) {
-					eligible = append(eligible, v)
-				}
+	e.usedStamp++
+	stamp := e.usedStamp
+	eligible := e.eligible[:0]
+	// Only channels with routed input VCs can move a flit; routedChs is
+	// sorted so they are visited in fb.channels order. Iterate a snapshot
+	// because the tail-pop routeOut below edits the live list. Routed
+	// lists only ever cover switch-sourced channels (outputs of VC
+	// allocation), so injection channels never appear here.
+	fwd := append(e.fwdChs[:0], e.routedChs...)
+	e.fwdChs = fwd
+	for _, id := range fwd {
+		c := e.fb.channels[id]
+		// Input VCs routed to this channel, in reference arbitration
+		// order (routedTo is seq-sorted), filtered down to the ones that
+		// can actually move a flit this cycle.
+		eligible = eligible[:0]
+		for _, v := range e.routedTo[c.id] {
+			if e.inputUsed[v.ch.id] != stamp && len(v.buf) > 0 && v.out.space(e.cfg.BufFlits) {
+				eligible = append(eligible, v)
 			}
 		}
 		if len(eligible) == 0 {
@@ -279,35 +663,45 @@ func (e *engine) forward() {
 		}
 		v := eligible[c.rr%len(eligible)]
 		c.rr++
-		f := v.buf[0]
-		v.buf = v.buf[1:]
+		f := v.pop()
+		e.buffered--
+		e.bufInCh[v.ch.id]--
 		out := v.out
 		out.inTransit++
-		c.inflight = append(c.inflight, inflightFlit{f: f, to: out, at: e.now + int64(c.delay)})
+		e.addInflight(c, inflightFlit{f: f, to: out, at: e.now + int64(c.delay)})
 		c.carried++
 		e.flitHops++
 		f.pkt.lastProgress = e.now
-		e.inputUsed[v.ch] = true
+		e.inputUsed[v.ch.id] = stamp
 		if f.tail {
+			e.routeOut(v)
 			v.owner = nil
 			v.out = nil
 		}
 	}
+	e.eligible = eligible
 }
 
 // ejectFlits absorbs one flit per processor per cycle from its ejection
 // channel.
 func (e *engine) ejectFlits() {
+	if e.buffered == 0 {
+		return
+	}
 	for p := 0; p < e.fb.net.Procs; p++ {
 		ch := e.fb.eject[p]
+		if e.bufInCh[ch.id] == 0 {
+			continue
+		}
 		for i := 0; i < len(ch.vcs); i++ {
 			v := ch.vcs[(ch.rr+i)%len(ch.vcs)]
 			if len(v.buf) == 0 {
 				continue
 			}
 			ch.rr = (ch.rr + i + 1) % len(ch.vcs)
-			f := v.buf[0]
-			v.buf = v.buf[1:]
+			f := v.pop()
+			e.buffered--
+			e.bufInCh[ch.id]--
 			pkt := f.pkt
 			pkt.arrived++
 			pkt.lastProgress = e.now
@@ -316,6 +710,8 @@ func (e *engine) ejectFlits() {
 				pkt.delivered = true
 				pkt.deliveredAt = e.now
 				e.readyAt[pkt.msgID] = e.now + int64(e.cfg.RecvOverhead)
+				e.undelivered--
+				e.dropNet(pkt)
 				lat := e.now - pkt.postedAt
 				e.latSum += lat
 				e.latN++
@@ -332,6 +728,9 @@ func (e *engine) ejectFlits() {
 // progress for DeadlockTimeout cycles are killed — their flits drained from
 // every buffer and wire — and retransmitted from the source after a backoff.
 func (e *engine) recoverDeadlocks() {
+	if len(e.netPackets) == 0 {
+		return
+	}
 	// Kill a single victim per scan — the packet stalled longest, ties
 	// to the earliest-created. Killing every stalled packet at once
 	// would recreate symmetric deadlocks verbatim after the common
@@ -369,6 +768,7 @@ func (e *engine) kill(pkt *packet) {
 		for _, inf := range c.inflight {
 			if inf.f.pkt == pkt {
 				inf.to.inTransit--
+				e.inflightCount--
 				continue
 			}
 			kept = append(kept, inf)
@@ -376,9 +776,14 @@ func (e *engine) kill(pkt *packet) {
 		c.inflight = kept
 		for _, v := range c.vcs {
 			if v.owner == pkt {
-				v.buf = v.buf[:0]
+				e.buffered -= len(v.buf)
+				e.bufInCh[c.id] -= len(v.buf)
+				v.clearBuf()
 				v.owner = nil
-				v.out = nil
+				if v.out != nil {
+					e.routeOut(v)
+					v.out = nil
+				}
 			}
 		}
 	}
@@ -406,6 +811,7 @@ func (e *engine) kill(pkt *packet) {
 	pkt.retries++
 	pkt.notBefore = e.now + int64(64*pkt.retries)
 	pkt.lastProgress = e.now
+	e.dropNet(pkt)
 	e.kills++
 	if e.cfg.Obs != nil {
 		e.cfg.Obs.Event("flitsim.kill",
@@ -414,13 +820,11 @@ func (e *engine) kill(pkt *packet) {
 }
 
 func (e *engine) finished() bool {
+	if e.undelivered > 0 {
+		return false
+	}
 	for _, ni := range e.nis {
 		if !ni.done() || len(ni.queue) > 0 {
-			return false
-		}
-	}
-	for _, pkt := range e.allPackets {
-		if !pkt.delivered {
 			return false
 		}
 	}
@@ -486,9 +890,9 @@ func (e *engine) emitObs() {
 // cycle budget. Enable when chasing a wedge.
 const dbgWedge = false
 
-func (e *engine) dumpWedge() {
+func dumpWedgeState(fb *fabric, nis []*niState, allPackets []*packet) {
 	fmt.Println("=== wedge dump ===")
-	for _, c := range e.fb.channels {
+	for _, c := range fb.channels {
 		for _, v := range c.vcs {
 			if v.owner != nil {
 				p := v.owner
@@ -497,13 +901,13 @@ func (e *engine) dumpWedge() {
 			}
 		}
 	}
-	for _, pkt := range e.allPackets {
+	for _, pkt := range allPackets {
 		if !pkt.delivered {
 			fmt.Printf("undelivered msg%d (%d->%d) sent=%d/%d arrived=%d lastprog=%d retries=%d notbefore=%d\n",
 				pkt.msgID, pkt.src, pkt.dst, pkt.sent, pkt.flits, pkt.arrived, pkt.lastProgress, pkt.retries, pkt.notBefore)
 		}
 	}
-	for i, ni := range e.nis {
+	for i, ni := range nis {
 		if !ni.done() || len(ni.queue) > 0 {
 			op := "-"
 			if !ni.done() {

@@ -16,9 +16,15 @@ type flit struct {
 // vcBuf is one virtual channel's receive buffer, owned exclusively by a
 // packet from head arrival to tail departure (wormhole switching).
 type vcBuf struct {
-	ch        *channel
-	idx       int
+	ch  *channel
+	idx int
+	// seq orders this VC among all input VCs of the switch its channel
+	// feeds: (position of ch within inOf[dst]) * VCs + idx. The engine's
+	// routed-VC lists sort by it so switch arbitration scans VCs in
+	// exactly the reference engine's nested-loop order.
+	seq       int
 	buf       []flit
+	arr       []flit // buf's full backing array, for base resets
 	owner     *packet
 	out       *vcBuf // downstream VC allocated for this packet
 	inTransit int    // flits on the wire toward this buffer
@@ -27,6 +33,21 @@ type vcBuf struct {
 // space reports whether one more flit may be sent toward this buffer
 // (credit check; credit round-trip latency is folded into link delay).
 func (v *vcBuf) space(cap int) bool { return len(v.buf)+v.inTransit < cap }
+
+// pop dequeues the front flit, shifting the remainder back to the start of
+// the backing array — a handful of 16-byte moves — so a steadily streaming
+// buffer never drifts past its pre-sized arena slot and appends never
+// reallocate.
+func (v *vcBuf) pop() flit {
+	f := v.buf[0]
+	n := len(v.buf) - 1
+	copy(v.arr[:n], v.buf[1:])
+	v.buf = v.arr[:n]
+	return f
+}
+
+// clearBuf drops every buffered flit (deadlock-recovery kill).
+func (v *vcBuf) clearBuf() { v.buf = v.arr[:0] }
 
 func (v *vcBuf) String() string { return fmt.Sprintf("%v.vc%d", v.ch, v.idx) }
 
@@ -58,26 +79,46 @@ type fabric struct {
 	cfg Config
 
 	channels []*channel
-	// outOf lists channels leaving a switch, inOf channels entering it.
-	outOf map[int][]*channel
-	inOf  map[int][]*channel
+	// outOf lists channels leaving a switch, inOf channels entering it,
+	// both indexed densely by switch ID.
+	outOf [][]*channel
+	inOf  [][]*channel
 	// inject[p] and eject[p] are processor p's NI channels.
 	inject []*channel
 	eject  []*channel
 	// link[(a,b,idx)] resolves a specific directed link.
 	link map[[3]int]*channel
+
+	// Router scratch, reused across Candidates calls. A fabric is owned by
+	// one simulation goroutine; slices returned by channelsBetween/anyVC
+	// are valid only until the next call (callers consume immediately).
+	btwScratch   []*channel
+	adScratch    []*channel
+	allocScratch []Alloc
+	adaptiveVCs  []int // 1..VCs-1, shared by every TFAR candidate set
+	escapeVC     []int // {0}
 }
 
 func buildFabric(net *topology.Network, cfg Config) *fabric {
+	nSw := net.NumSwitches()
 	fb := &fabric{
-		net:    net,
-		cfg:    cfg,
-		outOf:  make(map[int][]*channel),
-		inOf:   make(map[int][]*channel),
-		inject: make([]*channel, net.Procs),
-		eject:  make([]*channel, net.Procs),
-		link:   make(map[[3]int]*channel),
+		net:      net,
+		cfg:      cfg,
+		outOf:    make([][]*channel, nSw),
+		inOf:     make([][]*channel, nSw),
+		inject:   make([]*channel, net.Procs),
+		eject:    make([]*channel, net.Procs),
+		link:     make(map[[3]int]*channel),
+		escapeVC: []int{0},
 	}
+	for v := 1; v < cfg.VCs; v++ {
+		fb.adaptiveVCs = append(fb.adaptiveVCs, v)
+	}
+	nCh := 2 * net.Procs
+	for _, pipe := range net.Pipes {
+		nCh += 2 * pipe.Width
+	}
+	fb.channels = make([]*channel, 0, nCh)
 	delayOf := func(a, b topology.SwitchID) int {
 		if cfg.LinkDelay == nil {
 			return 1
@@ -89,14 +130,22 @@ func buildFabric(net *topology.Network, cfg Config) *fabric {
 	}
 	add := func(src, dst endpoint, linkIdx, delay int) *channel {
 		c := &channel{
-			id:      len(fb.channels),
-			src:     src,
-			dst:     dst,
-			linkIdx: linkIdx,
-			delay:   delay,
+			id:       len(fb.channels),
+			src:      src,
+			dst:      dst,
+			linkIdx:  linkIdx,
+			delay:    delay,
+			inflight: make([]inflightFlit, 0, delay+1),
 		}
+		// One flit arena per channel, carved into per-VC buffers; pop()
+		// keeps each buf inside its slot.
+		arena := make([]flit, cfg.VCs*cfg.BufFlits)
+		vcs := make([]vcBuf, cfg.VCs)
+		c.vcs = make([]*vcBuf, cfg.VCs)
 		for i := 0; i < cfg.VCs; i++ {
-			c.vcs = append(c.vcs, &vcBuf{ch: c, idx: i})
+			slot := arena[i*cfg.BufFlits : i*cfg.BufFlits : (i+1)*cfg.BufFlits]
+			vcs[i] = vcBuf{ch: c, idx: i, buf: slot, arr: slot}
+			c.vcs[i] = &vcs[i]
 		}
 		fb.channels = append(fb.channels, c)
 		if src.kind == endSwitch {
@@ -104,6 +153,10 @@ func buildFabric(net *topology.Network, cfg Config) *fabric {
 		}
 		if dst.kind == endSwitch {
 			fb.inOf[dst.id] = append(fb.inOf[dst.id], c)
+			pos := len(fb.inOf[dst.id]) - 1
+			for i, v := range c.vcs {
+				v.seq = pos*cfg.VCs + i
+			}
 		}
 		return c
 	}
@@ -124,14 +177,16 @@ func buildFabric(net *topology.Network, cfg Config) *fabric {
 	return fb
 }
 
-// channelsBetween returns all channels from switch a to switch b.
+// channelsBetween returns all channels from switch a to switch b. The
+// returned slice is fabric-owned scratch, valid until the next call.
 func (fb *fabric) channelsBetween(a, b topology.SwitchID) []*channel {
-	var out []*channel
+	out := fb.btwScratch[:0]
 	for _, c := range fb.outOf[int(a)] {
 		if c.dst == swEnd(b) {
 			out = append(out, c)
 		}
 	}
+	fb.btwScratch = out
 	return out
 }
 

@@ -20,7 +20,9 @@ type Alloc struct {
 type Router interface {
 	// Candidates returns the output options a packet at switch sw may
 	// take next, in preference order. It is not called at the packet's
-	// destination switch (ejection is handled by the engine).
+	// destination switch (ejection is handled by the engine). The
+	// returned slice may alias fabric-owned scratch: it is valid only
+	// until the next Candidates or channelsBetween call on fb.
 	Candidates(fb *fabric, pkt *packet, sw int) []Alloc
 	// Prepare fills per-packet routing state (source routes) before
 	// injection; may return an error if the packet is unroutable.
@@ -29,11 +31,13 @@ type Router interface {
 	Name() string
 }
 
-func anyVC(chs []*channel) []Alloc {
-	out := make([]Alloc, len(chs))
-	for i, c := range chs {
-		out[i] = Alloc{Ch: c}
+// anyVC wraps channels as any-VC allocation options in fb's scratch slice.
+func anyVC(fb *fabric, chs []*channel) []Alloc {
+	out := fb.allocScratch[:0]
+	for _, c := range chs {
+		out = append(out, Alloc{Ch: c})
 	}
+	fb.allocScratch = out
 	return out
 }
 
@@ -52,7 +56,7 @@ func (d DOR) Candidates(fb *fabric, pkt *packet, sw int) []Alloc {
 	if !ok {
 		return nil
 	}
-	return anyVC(fb.channelsBetween(topology.SwitchID(sw), next))
+	return anyVC(fb, fb.channelsBetween(topology.SwitchID(sw), next))
 }
 
 // meshDORNext computes the X-then-Y dimension-order next hop on a grid,
@@ -93,35 +97,34 @@ func (t TFAR) Candidates(fb *fabric, pkt *packet, sw int) []Alloc {
 	r, c := t.Grid.Coord(topology.SwitchID(sw))
 	dst := int(fb.net.Home[pkt.dst])
 	dr, dc := t.Grid.Coord(topology.SwitchID(dst))
-	var nexts []topology.SwitchID
+	var nextsArr [2]topology.SwitchID
+	nexts := nextsArr[:0]
 	if step, ok := ringNext(c, dc, t.Grid.Cols); ok {
 		nexts = append(nexts, t.Grid.At(r, step))
 	}
 	if step, ok := ringNext(r, dr, t.Grid.Rows); ok {
 		nexts = append(nexts, t.Grid.At(step, c))
 	}
-	var adaptive []*channel
+	adaptive := fb.adScratch[:0]
 	for _, n := range nexts {
 		adaptive = append(adaptive, fb.channelsBetween(topology.SwitchID(sw), n)...)
 	}
+	fb.adScratch = adaptive
 	// Adaptivity: prefer the output with the most spare buffering.
 	sort.SliceStable(adaptive, func(i, j int) bool {
 		return adaptive[i].freeSpace(fb.cfg.BufFlits) > adaptive[j].freeSpace(fb.cfg.BufFlits)
 	})
-	adaptiveVCs := make([]int, 0, fb.cfg.VCs-1)
-	for v := 1; v < fb.cfg.VCs; v++ {
-		adaptiveVCs = append(adaptiveVCs, v)
-	}
-	var out []Alloc
+	out := fb.allocScratch[:0]
 	for _, ch := range adaptive {
-		out = append(out, Alloc{Ch: ch, VCs: adaptiveVCs})
+		out = append(out, Alloc{Ch: ch, VCs: fb.adaptiveVCs})
 	}
 	// Escape: mesh-DOR on VC 0.
 	if next, ok := meshDORNext(t.Grid, sw, dst); ok {
 		for _, ch := range fb.channelsBetween(topology.SwitchID(sw), next) {
-			out = append(out, Alloc{Ch: ch, VCs: []int{0}})
+			out = append(out, Alloc{Ch: ch, VCs: fb.escapeVC})
 		}
 	}
+	fb.allocScratch = out
 	return out
 }
 
@@ -168,7 +171,11 @@ func (s SourceRouted) Prepare(fb *fabric, pkt *packet) error {
 		return fmt.Errorf("flitsim: no source route for flow %v", f)
 	}
 	pkt.routeSw = r.Switches
-	pkt.routeLink = make([]int, len(r.Links))
+	if cap(pkt.routeLink) >= len(r.Links) {
+		pkt.routeLink = pkt.routeLink[:len(r.Links)]
+	} else {
+		pkt.routeLink = make([]int, len(r.Links))
+	}
 	for i, li := range r.Links {
 		if li == routing.UnassignedLink {
 			li = 0
@@ -192,7 +199,9 @@ func (s SourceRouted) Candidates(fb *fabric, pkt *packet, sw int) []Alloc {
 	}
 	a, b := sw, int(next)
 	if ch, ok3 := fb.link[[3]int{a, b, linkIdx}]; ok3 {
-		return anyVC([]*channel{ch})
+		out := append(fb.allocScratch[:0], Alloc{Ch: ch})
+		fb.allocScratch = out
+		return out
 	}
 	return nil
 }

@@ -33,9 +33,37 @@ func buildScripts(p *model.Pattern, cfg Config) [][]op {
 	if len(phases) == 0 {
 		phases = syntheticPhases(p)
 	}
+	// First pass: per-processor op counts, so every script is carved out
+	// of one flat arena instead of growing by repeated append.
+	counts := make([]int, p.Procs)
+	total := 0
+	for _, ph := range phases {
+		for _, mi := range ph.Messages {
+			m := p.Messages[mi]
+			counts[m.Src]++
+			total++
+			if m.Dst != m.Src {
+				counts[m.Dst]++
+				total++
+			}
+		}
+		if ph.ComputeAfter > 0 {
+			for proc := range counts {
+				counts[proc]++
+			}
+			total += p.Procs
+		}
+	}
+	arena := make([]op, total)
+	off := 0
+	for proc, n := range counts {
+		scripts[proc] = arena[off:off:off+n]
+		off += n
+	}
+	var msgs []int
 	for _, ph := range phases {
 		// Sends first (asynchronous post), then receives, per proc.
-		msgs := append([]int(nil), ph.Messages...)
+		msgs = append(msgs[:0], ph.Messages...)
 		sort.Ints(msgs)
 		for _, mi := range msgs {
 			m := p.Messages[mi]
@@ -68,9 +96,11 @@ func syntheticPhases(p *model.Pattern) []model.Phase {
 	sort.SliceStable(order, func(a, b int) bool {
 		return p.Messages[order[a]].Start < p.Messages[order[b]].Start
 	})
-	phases := make([]model.Phase, 0, len(order))
-	for _, mi := range order {
-		phases = append(phases, model.Phase{Messages: []int{mi}})
+	phases := make([]model.Phase, len(order))
+	for i := range order {
+		// Each single-message phase aliases one element of order — never
+		// mutated, and cheaper than a fresh slice per phase.
+		phases[i] = model.Phase{Messages: order[i : i+1]}
 	}
 	return phases
 }

@@ -1,6 +1,9 @@
 package obs
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 // BenchmarkNopObserverCount measures the disabled telemetry path: a nil
 // Observer through the package helpers. This is the per-call overhead every
@@ -21,6 +24,33 @@ func BenchmarkNopObserverSpan(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		Span(o, "bench.span").End()
+	}
+}
+
+// TestDisabledPathAllocationFree pins the contract the hot-path call-site
+// convention depends on: with a nil Observer, Count, Span+End, and a
+// *guarded* formatted Emit perform zero allocations. The guarded-Emit case
+// is the pattern required wherever an event detail is built with
+// fmt.Sprintf — the format call must sit behind its own nil check, because
+// Go evaluates arguments before Emit's internal check can skip them.
+func TestDisabledPathAllocationFree(t *testing.T) {
+	var o Observer
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"count", func() { Count(o, "bench.counter", 1) }},
+		{"span", func() { Span(o, "bench.span").End() }},
+		{"guarded-emit", func() {
+			if o != nil {
+				Emit(o, "bench.event", fmt.Sprintf("detail=%d", 42))
+			}
+		}},
+	}
+	for _, tc := range cases {
+		if allocs := testing.AllocsPerRun(100, tc.fn); allocs != 0 {
+			t.Errorf("%s: disabled path allocates %.1f per call, want 0", tc.name, allocs)
+		}
 	}
 }
 

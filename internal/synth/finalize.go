@@ -337,7 +337,9 @@ func emitSynthObs(o obs.Observer, totals Stats, best *Result) {
 	if !best.ConstraintsMet {
 		obs.Emit(o, "synth.constraints_unmet", best.Net.Name)
 	}
-	if !best.ContentionFree {
+	if !best.ContentionFree && o != nil {
+		// Guard before formatting: obs.Emit tolerates nil, but the Sprintf
+		// argument would still be built (and allocate) on the disabled path.
 		obs.Emit(o, "synth.contention_witnesses", fmt.Sprintf("%s: %d", best.Net.Name, len(best.Witnesses)))
 	}
 }
