@@ -4,7 +4,7 @@
 # reduction cannot pass by luck.
 GO ?= go
 
-.PHONY: verify vet build test race determinism bench bench-synth bench-obs bench-flitsim bench-all fuzz
+.PHONY: verify vet build test race determinism cover-serve bench bench-synth bench-obs bench-flitsim bench-all fuzz
 
 verify: vet build race determinism
 
@@ -22,6 +22,17 @@ race:
 
 determinism:
 	$(GO) test -run TestDeterminism -count=2 ./...
+
+# cover-serve is the server coverage gate: the design server's e2e suite
+# (plus the synth cancellation tests it depends on) must keep internal/serve
+# at >= 80% line coverage. Writes COVER_serve.txt (the per-function
+# breakdown) for the CI artifact.
+cover-serve:
+	$(GO) test -count=1 -coverprofile=cover_serve.out ./internal/serve/
+	$(GO) tool cover -func=cover_serve.out | tee COVER_serve.txt
+	@total=$$($(GO) tool cover -func=cover_serve.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "internal/serve line coverage: $$total% (floor 80%)"; \
+	awk "BEGIN {exit !($$total >= 80.0)}" || { echo "FAIL: coverage $$total% below the 80% floor"; exit 1; }
 
 # bench-synth runs the synthesis hot-path benchmarks with allocation stats
 # and writes BENCH_synth.json (a machine-readable summary) plus

@@ -1,0 +1,84 @@
+// Command nocd is the design server: a long-running daemon that accepts
+// communication patterns over HTTP/JSON, runs the full synthesize → color →
+// floorplan-ready pipeline, and returns the generated design plus its
+// telemetry RunReport. Identical patterns are served from a
+// content-addressed LRU cache (byte-identical replay) and concurrent
+// identical requests collapse onto one synthesis; SIGTERM/SIGINT drain
+// in-flight requests before exit.
+//
+// Usage:
+//
+//	nocd [-addr :8080] [-cache-size 128] [-timeout 2m] [-maxdegree 5] [-maxprocs 4]
+//	     [-restarts 4] [-seed 1] [-workers 0] [-max-inflight 2] [-max-queue 64]
+//	     [-drain-timeout 10s]
+//
+// Endpoints:
+//
+//	POST /design      {"benchmark":"CG","procs":16} or {"trace":"noctrace v1\n..."}
+//	GET  /healthz     liveness probe
+//	GET  /metrics     server-lifetime RunReport JSON (serve.*, synth.*, coloring.* counters)
+//	GET  /benchmarks  the NAS benchmark names
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/serve"
+	"repro/internal/synth"
+)
+
+func main() {
+	var (
+		maxDeg   = flag.Int("maxdegree", 5, "default maximum switch degree (ports)")
+		maxProcs = flag.Int("maxprocs", 4, "default maximum processors per switch")
+		restarts = flag.Int("restarts", 4, "default synthesis restarts")
+		inflight = flag.Int("max-inflight", 2, "concurrently executing syntheses")
+		queue    = flag.Int("max-queue", 64, "syntheses waiting for a slot before 503")
+		drain    = flag.Duration("drain-timeout", 10*time.Second,
+			"how long shutdown waits for in-flight requests")
+		shared cliutil.Flags
+	)
+	shared.RegisterSeed(flag.CommandLine, "default synthesis seed")
+	shared.RegisterWorkers(flag.CommandLine)
+	shared.RegisterServe(flag.CommandLine)
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		CacheSize:   shared.CacheSize,
+		MaxInFlight: *inflight,
+		MaxQueue:    *queue,
+		Timeout:     shared.Timeout,
+		Synth: synth.Options{
+			Constraints: synth.Constraints{MaxDegree: *maxDeg, MaxProcsPerSwitch: *maxProcs},
+			Seed:        shared.Seed,
+			Restarts:    *restarts,
+			Workers:     shared.Workers,
+		},
+	})
+	ln, err := net.Listen("tcp", shared.Addr)
+	if err != nil {
+		fatal(err)
+	}
+	log.Printf("nocd: serving designs on %s (cache %d, budget %s)", ln.Addr(), shared.CacheSize, shared.Timeout)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := serve.Serve(ctx, srv, ln, *drain); err != nil {
+		fatal(err)
+	}
+	log.Printf("nocd: drained, exiting")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nocd:", err)
+	os.Exit(1)
+}

@@ -12,6 +12,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -24,6 +25,12 @@ type Flags struct {
 	CPUProfile string
 	MemProfile string
 	Report     string
+
+	// Server group (RegisterServe): the nocd daemon's listen address,
+	// design-cache capacity, and per-request synthesis budget.
+	Addr      string
+	CacheSize int
+	Timeout   time.Duration
 
 	collector *obs.Collector
 }
@@ -43,6 +50,16 @@ func (f *Flags) RegisterWorkers(fs *flag.FlagSet) {
 func (f *Flags) RegisterProfiles(fs *flag.FlagSet) {
 	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this file on exit")
+}
+
+// RegisterServe registers the server flag group: -addr, -cache-size, and
+// -timeout, with the same names, defaults, and help text for every daemon.
+func (f *Flags) RegisterServe(fs *flag.FlagSet) {
+	fs.StringVar(&f.Addr, "addr", ":8080", "HTTP listen address")
+	fs.IntVar(&f.CacheSize, "cache-size", 128,
+		"designs held by the content-addressed LRU response cache")
+	fs.DurationVar(&f.Timeout, "timeout", 2*time.Minute,
+		"per-request synthesis budget (exceeded requests return 504)")
 }
 
 // RegisterReport registers -report.

@@ -4,6 +4,7 @@ import (
 	"flag"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -20,6 +21,28 @@ func TestObserverNilWithoutReport(t *testing.T) {
 	}
 	if err := f.WriteReport("t", nil); err != nil {
 		t.Errorf("WriteReport without -report: %v", err)
+	}
+}
+
+func TestRegisterServe(t *testing.T) {
+	var f Flags
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	f.RegisterServe(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if f.Addr != ":8080" || f.CacheSize != 128 || f.Timeout != 2*time.Minute {
+		t.Errorf("defaults = %q/%d/%s, want :8080/128/2m", f.Addr, f.CacheSize, f.Timeout)
+	}
+
+	var g Flags
+	fs = flag.NewFlagSet("t", flag.ContinueOnError)
+	g.RegisterServe(fs)
+	if err := fs.Parse([]string{"-addr", "127.0.0.1:0", "-cache-size", "7", "-timeout", "3s"}); err != nil {
+		t.Fatal(err)
+	}
+	if g.Addr != "127.0.0.1:0" || g.CacheSize != 7 || g.Timeout != 3*time.Second {
+		t.Errorf("parsed = %q/%d/%s, want 127.0.0.1:0/7/3s", g.Addr, g.CacheSize, g.Timeout)
 	}
 }
 

@@ -1,8 +1,11 @@
 package harness
 
 import (
+	"errors"
 	"strings"
 	"testing"
+
+	"repro/internal/nas"
 )
 
 func TestWalkthroughMatchesPaper(t *testing.T) {
@@ -205,8 +208,15 @@ func TestSkewRobustnessMonotone(t *testing.T) {
 }
 
 func TestBuildDesignInvalidBenchmark(t *testing.T) {
-	if _, err := Quick().BuildDesign("LU", 8); err == nil {
+	_, err := Quick().BuildDesign("LU", 8)
+	if err == nil {
 		t.Fatal("unknown benchmark accepted")
+	}
+	// The typed error must survive the harness layer so servers built on
+	// BuildDesign can map it to a 400 instead of crashing.
+	var ube *nas.UnknownBenchmarkError
+	if !errors.As(err, &ube) {
+		t.Fatalf("got %v, want *nas.UnknownBenchmarkError", err)
 	}
 }
 

@@ -90,6 +90,32 @@ func (c Config) compute(t float64) float64 {
 	return t * s
 }
 
+// UnknownBenchmarkError reports a request for a benchmark outside the NAS
+// set. Callers that accept untrusted benchmark names (the nocd design
+// server, the harness CLIs) detect it with errors.As and surface it as a
+// client error instead of an internal failure.
+type UnknownBenchmarkError struct {
+	Name string
+}
+
+func (e *UnknownBenchmarkError) Error() string {
+	return fmt.Sprintf("nas: unknown benchmark %q (have %v)", e.Name, Names())
+}
+
+// ProcCountError reports a processor count the benchmark's communication
+// structure cannot be generated for: CG, FFT, and MG require a power of
+// two, BT and SP a perfect square.
+type ProcCountError struct {
+	Benchmark string
+	Procs     int
+	// Want describes the accepted shape ("power-of-two", "perfect-square").
+	Want string
+}
+
+func (e *ProcCountError) Error() string {
+	return fmt.Sprintf("nas: %s requires a %s processor count, got %d", e.Benchmark, e.Want, e.Procs)
+}
+
 // Generator builds a pattern for a processor count.
 type Generator func(procs int, cfg Config) (*model.Pattern, error)
 
@@ -122,7 +148,7 @@ func Generate(name string, procs int, cfg Config) (*model.Pattern, error) {
 	defer sp.End()
 	gen, ok := Generators[name]
 	if !ok {
-		return nil, fmt.Errorf("nas: unknown benchmark %q (have %v)", name, Names())
+		return nil, &UnknownBenchmarkError{Name: name}
 	}
 	p, err := gen(procs, cfg)
 	if err != nil {
@@ -169,7 +195,7 @@ func sortedFlows(fs []model.Flow) []model.Flow {
 // processor count.
 func CG(procs int, cfg Config) (*model.Pattern, error) {
 	if !isPow2(procs) {
-		return nil, fmt.Errorf("nas: CG requires a power-of-two processor count, got %d", procs)
+		return nil, &ProcCountError{Benchmark: "CG", Procs: procs, Want: "power-of-two"}
 	}
 	rows, cols := cgGrid(procs)
 	iters := cfg.iters(4)
@@ -235,7 +261,7 @@ func cgTranspose(p, rows, cols int) int {
 // within each column. Requires a power-of-two processor count.
 func FFT(procs int, cfg Config) (*model.Pattern, error) {
 	if !isPow2(procs) {
-		return nil, fmt.Errorf("nas: FFT requires a power-of-two processor count, got %d", procs)
+		return nil, &ProcCountError{Benchmark: "FFT", Procs: procs, Want: "power-of-two"}
 	}
 	rows, cols := nearSquareGrid(procs)
 	iters := cfg.iters(3)
@@ -281,7 +307,7 @@ func FFT(procs int, cfg Config) (*model.Pattern, error) {
 // power-of-two processor count.
 func MG(procs int, cfg Config) (*model.Pattern, error) {
 	if !isPow2(procs) {
-		return nil, fmt.Errorf("nas: MG requires a power-of-two processor count, got %d", procs)
+		return nil, &ProcCountError{Benchmark: "MG", Procs: procs, Want: "power-of-two"}
 	}
 	levels := log2(procs)
 	iters := cfg.iters(3)
@@ -357,7 +383,7 @@ func SP(procs int, cfg Config) (*model.Pattern, error) {
 func sweepBenchmark(name string, procs int, cfg Config, iters, bytes int, computeUnit float64) (*model.Pattern, error) {
 	k := int(math.Round(math.Sqrt(float64(procs))))
 	if k*k != procs {
-		return nil, fmt.Errorf("nas: %s requires a perfect-square processor count, got %d", name, procs)
+		return nil, &ProcCountError{Benchmark: name, Procs: procs, Want: "perfect-square"}
 	}
 	var phases []trace.PhaseSpec
 	computeGap := cfg.compute(computeUnit / float64(procs) * 16)

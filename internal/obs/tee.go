@@ -1,0 +1,81 @@
+package obs
+
+import "sync"
+
+// Tee returns an Observer forwarding every call to each non-nil sink. It
+// exists for call sites that must feed one pipeline stage into two sinks at
+// once — the nocd server aggregates across all requests into its /metrics
+// Collector while each request also builds its own RunReport.
+//
+// Span tokens are implementation-private to each sink (a Collector's token
+// is an offset on its own clock), so the tee cannot hand one sink's token
+// to another: it issues its own token and keeps the per-sink tokens in a
+// small table until the span closes. That table makes Tee the only Observer
+// here that allocates per span; keep it off hot paths that demand the
+// zero-allocation contract.
+//
+// With zero or one live sink no tee is built: Tee returns nil (the
+// canonical disabled Observer) or the sink itself.
+func Tee(sinks ...Observer) Observer {
+	live := make([]Observer, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return &teeObserver{sinks: live, open: make(map[int64][]int64)}
+}
+
+type teeObserver struct {
+	sinks []Observer
+
+	mu   sync.Mutex
+	next int64
+	open map[int64][]int64 // tee token -> per-sink tokens
+}
+
+func (t *teeObserver) Count(name string, delta int64) {
+	for _, s := range t.sinks {
+		s.Count(name, delta)
+	}
+}
+
+func (t *teeObserver) SpanStart(name string) int64 {
+	starts := make([]int64, len(t.sinks))
+	for i, s := range t.sinks {
+		starts[i] = s.SpanStart(name)
+	}
+	t.mu.Lock()
+	t.next++
+	token := t.next
+	t.open[token] = starts
+	t.mu.Unlock()
+	return token
+}
+
+func (t *teeObserver) SpanEnd(name string, start int64) {
+	t.mu.Lock()
+	starts, ok := t.open[start]
+	delete(t.open, start)
+	t.mu.Unlock()
+	if !ok {
+		// A token the tee never issued (or already closed): drop rather
+		// than corrupt the sinks' aggregates with a foreign offset.
+		return
+	}
+	for i, s := range t.sinks {
+		s.SpanEnd(name, starts[i])
+	}
+}
+
+func (t *teeObserver) Event(name, detail string) {
+	for _, s := range t.sinks {
+		s.Event(name, detail)
+	}
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTeeDegenerateForms(t *testing.T) {
+	if got := Tee(); got != nil {
+		t.Errorf("Tee() = %v, want nil", got)
+	}
+	if got := Tee(nil, nil); got != nil {
+		t.Errorf("Tee(nil, nil) = %v, want nil", got)
+	}
+	c := NewCollector()
+	if got := Tee(nil, c); got != Observer(c) {
+		t.Errorf("Tee(nil, c) should return c itself, got %T", got)
+	}
+}
+
+func TestTeeFansOutCountersAndEvents(t *testing.T) {
+	a, b := NewCollector(), NewCollector()
+	o := Tee(a, b)
+	Count(o, "tee.hits", 2)
+	Count(o, "tee.hits", 3)
+	Emit(o, "tee.event", "detail")
+	for _, c := range []*Collector{a, b} {
+		if got := c.Counter("tee.hits"); got != 5 {
+			t.Errorf("counter = %d, want 5", got)
+		}
+		evs := c.Events()
+		if len(evs) != 1 || evs[0].Name != "tee.event" || evs[0].Detail != "detail" {
+			t.Errorf("events = %+v", evs)
+		}
+	}
+}
+
+// TestTeeSpanTokensPerSink pins the reason the tee keeps a token table: two
+// Collectors created at different times measure spans on different clocks,
+// and each must still see a sane (non-negative, plausibly sized) duration.
+func TestTeeSpanTokensPerSink(t *testing.T) {
+	a := NewCollector()
+	time.Sleep(5 * time.Millisecond) // skew the two sinks' clock epochs
+	b := NewCollector()
+	o := Tee(a, b)
+	sp := Span(o, "tee.span")
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	for _, c := range []*Collector{a, b} {
+		rep := c.Report("test")
+		if len(rep.Spans) != 1 {
+			t.Fatalf("spans = %+v", rep.Spans)
+		}
+		s := rep.Spans[0]
+		if s.Count != 1 || s.TotalNs < int64(time.Millisecond) || s.TotalNs > int64(4*time.Second) {
+			t.Errorf("span aggregate %+v out of range", s)
+		}
+	}
+}
+
+func TestTeeUnknownSpanTokenDropped(t *testing.T) {
+	a, b := NewCollector(), NewCollector()
+	o := Tee(a, b)
+	o.SpanEnd("tee.span", 999) // never issued: must not reach the sinks
+	if rep := a.Report("test"); len(rep.Spans) != 0 {
+		t.Errorf("foreign token recorded a span: %+v", rep.Spans)
+	}
+}
+
+func TestTeeConcurrentSpans(t *testing.T) {
+	a, b := NewCollector(), NewCollector()
+	o := Tee(a, b)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				sp := Span(o, "tee.span")
+				Count(o, "tee.n", 1)
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	for _, c := range []*Collector{a, b} {
+		if got := c.Counter("tee.n"); got != 800 {
+			t.Errorf("counter = %d, want 800", got)
+		}
+		rep := c.Report("test")
+		if len(rep.Spans) != 1 || rep.Spans[0].Count != 800 {
+			t.Errorf("spans = %+v", rep.Spans)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// entry is one cached design response: the exact bytes served for the key,
+// replayed verbatim on every hit so repeated requests are byte-identical.
+type entry struct {
+	key  string
+	body []byte
+}
+
+// lruCache is a bounded most-recently-used response cache. Both Get and Add
+// refresh recency; when Add pushes the cache past capacity the least
+// recently used entries are evicted. All methods are safe for concurrent
+// use.
+type lruCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used; values are *entry
+	m   map[string]*list.Element
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{
+		cap: capacity,
+		ll:  list.New(),
+		m:   make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns the entry for key, refreshing its recency.
+func (c *lruCache) Get(key string) (*entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*entry), true
+}
+
+// Add inserts (or refreshes) an entry, evicting from the cold end to stay
+// within capacity. A non-positive capacity disables caching entirely.
+func (c *lruCache) Add(e *entry) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[e.key]; ok {
+		el.Value = e
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[e.key] = c.ll.PushFront(e)
+	for c.ll.Len() > c.cap {
+		cold := c.ll.Back()
+		c.ll.Remove(cold)
+		delete(c.m, cold.Value.(*entry).key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *lruCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

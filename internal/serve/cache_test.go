@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ent(key string) *entry { return &entry{key: key, body: []byte("body:" + key)} }
+
+func TestLRUCacheEvictsLeastRecent(t *testing.T) {
+	c := newLRUCache(2)
+	c.Add(ent("a"))
+	c.Add(ent("b"))
+	if _, ok := c.Get("a"); !ok { // refresh a: b is now least recent
+		t.Fatal("a missing before capacity reached")
+	}
+	c.Add(ent("c")) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction; LRU order not honored")
+	}
+	for _, k := range []string{"a", "c"} {
+		e, ok := c.Get(k)
+		if !ok {
+			t.Errorf("%s missing", k)
+			continue
+		}
+		if string(e.body) != "body:"+k {
+			t.Errorf("%s holds %q", k, e.body)
+		}
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestLRUCacheReplaceSameKey(t *testing.T) {
+	c := newLRUCache(2)
+	c.Add(ent("a"))
+	c.Add(&entry{key: "a", body: []byte("updated")})
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (same key must not duplicate)", c.Len())
+	}
+	e, _ := c.Get("a")
+	if string(e.body) != "updated" {
+		t.Errorf("a holds %q, want updated", e.body)
+	}
+}
+
+func TestLRUCacheDisabled(t *testing.T) {
+	c := newLRUCache(-1)
+	c.Add(ent("a"))
+	if _, ok := c.Get("a"); ok {
+		t.Error("disabled cache stored an entry")
+	}
+	if c.Len() != 0 {
+		t.Errorf("Len = %d, want 0", c.Len())
+	}
+}
+
+func TestLRUCacheConcurrent(t *testing.T) {
+	c := newLRUCache(8)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k%d", (g*7+i)%16)
+				c.Add(ent(k))
+				c.Get(k)
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if n := c.Len(); n > 8 {
+		t.Errorf("Len = %d, exceeds capacity 8", n)
+	}
+	close(done)
+}

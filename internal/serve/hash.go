@@ -1,0 +1,42 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+
+	"repro/internal/model"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// Key computes the content-addressed cache key for one design request: the
+// SHA-256 of the pattern's canonical noctrace v1 encoding concatenated (NUL-
+// separated) with the fingerprint of the output-affecting synthesis options.
+// Patterns arriving as inline traces are decoded before hashing, so comment
+// lines, blank lines, and whitespace variations never split the cache;
+// reordering message lines does produce a distinct key, which costs at most
+// a duplicate synthesis, never a wrong answer.
+func Key(p *model.Pattern, opt synth.Options) string {
+	h := sha256.New()
+	// Encode writes to an in-memory hash and cannot fail.
+	_ = trace.Encode(h, p)
+	io.WriteString(h, "\x00")
+	io.WriteString(h, OptionsFingerprint(opt))
+	return "sha256:" + hex.EncodeToString(h.Sum(nil))
+}
+
+// OptionsFingerprint renders every synth.Options knob that can change the
+// synthesized bytes. Workers is deliberately absent — the determinism
+// contract guarantees byte-identical designs for every worker count — and
+// Obs is telemetry, so requests differing only in those collapse onto one
+// cache entry. Fields are spelled out (not reflected) so adding an option
+// later forces a conscious decision about whether it belongs in the key.
+func OptionsFingerprint(opt synth.Options) string {
+	o := opt.Normalized()
+	return fmt.Sprintf("maxdeg=%d maxprocs=%d seed=%d restarts=%d anneal=%g/%g/%d nobestroute=%t noglobalrefine=%t greedycolor=%t maxrounds=%d",
+		o.MaxDegree, o.MaxProcsPerSwitch, o.Seed, o.Restarts,
+		o.Anneal.InitialTemp, o.Anneal.Cooling, o.Anneal.Steps,
+		o.DisableBestRoute, o.DisableGlobalRefine, o.GreedyFinalColoring, o.MaxRounds)
+}

@@ -1,0 +1,442 @@
+// Package serve turns the synthesis pipeline into a long-running HTTP/JSON
+// service (the nocd daemon): POST a communication pattern — a NAS benchmark
+// name plus processor count, or an inline noctrace v1 trace — and get back
+// the synthesized design, its verdicts, and the request's RunReport.
+//
+// The paper's premise is that well-behaved patterns repeat, which is
+// exactly the workload a content-addressed cache exploits: requests are
+// keyed by the pattern's canonical hash plus the fingerprint of the
+// output-affecting synthesis options (see Key), deduplicated in flight by a
+// singleflight layer, and replayed byte-for-byte from a bounded LRU on
+// repeat. Synthesis runs under a per-request context with reference-counted
+// cancellation — a dropped client aborts the work promptly unless another
+// request is still waiting on the same key — behind an admission gate
+// bounding concurrent syntheses and queue depth. Everything is observed
+// through internal/obs: serve.* counters plus the synth.*/coloring.*
+// counters of the work itself land in the server-lifetime Collector exposed
+// at /metrics, while each synthesis also feeds the per-request Collector
+// embedded in its response.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/nas"
+	"repro/internal/obs"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// ResponseSchema identifies the /design response artifact; ResponseVersion
+// is bumped on any breaking change to its fields.
+const (
+	ResponseSchema  = "nocd.design"
+	ResponseVersion = 1
+)
+
+// StatusClientClosedRequest is the (nginx-convention) status recorded when
+// the client hangs up before the design is ready. The client never sees it;
+// it keeps handler accounting honest.
+const StatusClientClosedRequest = 499
+
+// maxRequestBytes bounds the /design request body; inline traces above it
+// are rejected with 413.
+const maxRequestBytes = 16 << 20
+
+// Config tunes a Server. The zero value is serviceable: defaults are
+// resolved by Normalized.
+type Config struct {
+	// CacheSize bounds the LRU design cache, in entries (default 128;
+	// negative disables caching).
+	CacheSize int
+	// MaxInFlight bounds concurrently executing syntheses (default 2).
+	MaxInFlight int
+	// MaxQueue bounds syntheses waiting for an execution slot; beyond it
+	// requests fail fast with 503 (default 64; negative refuses all
+	// queueing).
+	MaxQueue int
+	// Timeout is the per-synthesis budget; an expired budget returns 504
+	// (default 2m; negative disables the budget).
+	Timeout time.Duration
+	// Synth supplies the server-wide synthesis defaults. Requests may
+	// override the knobs exposed in DesignRequest; Workers and Obs are
+	// operator-only. Obs, when set, is teed into every synthesis (test
+	// hook and operator escape hatch).
+	Synth synth.Options
+	// NAS supplies pattern-generation defaults for benchmark requests.
+	NAS nas.Config
+}
+
+// Normalized returns the configuration with every zero field replaced by
+// its documented default.
+func (c Config) Normalized() Config {
+	if c.CacheSize == 0 {
+		c.CacheSize = 128
+	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 2
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 64
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 2 * time.Minute
+	}
+	return c
+}
+
+// DesignRequest is the /design request body. Exactly one pattern source —
+// Benchmark (with Procs) or Trace — must be set.
+type DesignRequest struct {
+	// Benchmark names a NAS benchmark (BT, CG, FFT, MG, SP).
+	Benchmark string `json:"benchmark,omitempty"`
+	// Procs is the processor count for a benchmark pattern.
+	Procs int `json:"procs,omitempty"`
+	// Iterations overrides the benchmark's main-loop iteration count.
+	Iterations int `json:"iterations,omitempty"`
+	// Trace is an inline noctrace v1 document.
+	Trace string `json:"trace,omitempty"`
+
+	// Synthesis overrides; zero keeps the server default.
+	Seed      int64 `json:"seed,omitempty"`
+	MaxDegree int   `json:"max_degree,omitempty"`
+	MaxProcs  int   `json:"max_procs,omitempty"`
+	Restarts  int   `json:"restarts,omitempty"`
+}
+
+// DesignResponse is the /design response body. Cached requests replay the
+// exact bytes of the first response, so everything here — including the
+// embedded RunReport's wall-clock spans — describes the synthesis that
+// actually ran, not the request that fetched it; whether this copy came
+// from the cache is in the X-Nocd-Cache header, which is deliberately NOT
+// part of the body.
+type DesignResponse struct {
+	Schema         string          `json:"schema"`
+	Version        int             `json:"version"`
+	PatternHash    string          `json:"pattern_hash"`
+	Name           string          `json:"name"`
+	Procs          int             `json:"procs"`
+	ConstraintsMet bool            `json:"constraints_met"`
+	ContentionFree bool            `json:"contention_free"`
+	ExactColoring  bool            `json:"exact_coloring"`
+	Switches       int             `json:"switches"`
+	Links          int             `json:"links"`
+	Design         json.RawMessage `json:"design"`
+	Stats          synth.Stats     `json:"stats"`
+	Report         *obs.RunReport  `json:"report"`
+}
+
+// errQueueFull rejects work when MaxInFlight syntheses are executing and
+// MaxQueue more are already waiting.
+var errQueueFull = errors.New("serve: synthesis queue full")
+
+// Server is the nocd HTTP handler. Create with New.
+type Server struct {
+	cfg     Config
+	col     *obs.Collector
+	cache   *lruCache
+	flights *flightGroup
+	mux     *http.ServeMux
+	sem     chan struct{}
+	queued  atomic.Int64
+}
+
+// New builds a Server from the configuration.
+func New(cfg Config) *Server {
+	cfg = cfg.Normalized()
+	s := &Server{
+		cfg:     cfg,
+		col:     obs.NewCollector(),
+		cache:   newLRUCache(cfg.CacheSize),
+		flights: newFlightGroup(),
+		mux:     http.NewServeMux(),
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+	}
+	s.mux.HandleFunc("POST /design", s.handleDesign)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /benchmarks", s.handleBenchmarks)
+	return s
+}
+
+// Metrics exposes the server-lifetime Collector (the /metrics source) for
+// embedders and tests.
+func (s *Server) Metrics() *obs.Collector { return s.col }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.col.Report("nocd").WriteJSON(w); err != nil {
+		obs.Count(s.col, "serve.errors", 1)
+	}
+}
+
+func (s *Server) handleBenchmarks(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(nas.Names())
+}
+
+func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
+	obs.Count(s.col, "serve.requests", 1)
+	sp := obs.Span(s.col, "serve.request")
+	defer sp.End()
+
+	pat, opt, err := s.parseDesignRequest(r)
+	if err != nil {
+		s.clientError(w, err)
+		return
+	}
+	key := Key(pat, opt)
+
+	if ent, ok := s.cache.Get(key); ok {
+		obs.Count(s.col, "serve.cache_hit", 1)
+		writeEntry(w, ent, "hit")
+		return
+	}
+
+	reqCol := obs.NewCollector()
+	ent, err, shared := s.flights.Do(r.Context(), key, func(runCtx context.Context) (*entry, error) {
+		return s.synthesize(runCtx, key, pat, opt, reqCol)
+	})
+	switch {
+	case err == nil:
+		how := "miss"
+		if shared {
+			how = "shared"
+			obs.Count(s.col, "serve.singleflight_shared", 1)
+		}
+		writeEntry(w, ent, how)
+	case errors.Is(err, errQueueFull):
+		obs.Count(s.col, "serve.queue_full", 1)
+		http.Error(w, "synthesis queue full, retry later", http.StatusServiceUnavailable)
+	case r.Context().Err() != nil:
+		// The client hung up; the status line goes nowhere but keeps the
+		// accounting straight. The synthesis itself aborts once the last
+		// waiter is gone (serve.synth_aborted counts that).
+		obs.Count(s.col, "serve.client_gone", 1)
+		w.WriteHeader(StatusClientClosedRequest)
+	case errors.Is(err, context.DeadlineExceeded):
+		obs.Count(s.col, "serve.timeout", 1)
+		http.Error(w, "synthesis exceeded the server budget", http.StatusGatewayTimeout)
+	default:
+		obs.Count(s.col, "serve.errors", 1)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// badRequestError marks request-construction failures that map to 4xx.
+type badRequestError struct{ err error }
+
+func (e *badRequestError) Error() string { return e.err.Error() }
+func (e *badRequestError) Unwrap() error { return e.err }
+
+func badRequest(format string, args ...any) error {
+	return &badRequestError{err: fmt.Errorf(format, args...)}
+}
+
+// parseDesignRequest decodes and validates the body, builds the pattern,
+// and resolves the effective synthesis options. All failures are client
+// errors.
+func (s *Server) parseDesignRequest(r *http.Request) (*model.Pattern, synth.Options, error) {
+	var opt synth.Options
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	var req DesignRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, opt, badRequest("decoding request: %v", err)
+	}
+
+	var pat *model.Pattern
+	switch {
+	case req.Benchmark != "" && req.Trace != "":
+		return nil, opt, badRequest("benchmark and trace are mutually exclusive")
+	case req.Benchmark != "":
+		if req.Procs <= 0 {
+			return nil, opt, badRequest("benchmark requests need procs > 0, got %d", req.Procs)
+		}
+		cfg := s.cfg.NAS
+		cfg.Obs = nil // pattern generation is request work, not server telemetry
+		if req.Iterations > 0 {
+			cfg.Iterations = req.Iterations
+		}
+		p, err := nas.Generate(req.Benchmark, req.Procs, cfg)
+		if err != nil {
+			var ube *nas.UnknownBenchmarkError
+			var pce *nas.ProcCountError
+			if errors.As(err, &ube) || errors.As(err, &pce) {
+				return nil, opt, &badRequestError{err: err}
+			}
+			return nil, opt, err
+		}
+		pat = p
+	case req.Trace != "":
+		p, err := trace.Decode(strings.NewReader(req.Trace))
+		if err != nil {
+			return nil, opt, badRequest("decoding trace: %v", err)
+		}
+		pat = p
+	default:
+		return nil, opt, badRequest("request needs a benchmark or an inline trace")
+	}
+
+	opt = s.cfg.Synth
+	if req.Seed != 0 {
+		opt.Seed = req.Seed
+	}
+	if req.MaxDegree != 0 {
+		opt.MaxDegree = req.MaxDegree
+	}
+	if req.MaxProcs != 0 {
+		opt.MaxProcsPerSwitch = req.MaxProcs
+	}
+	if req.Restarts != 0 {
+		opt.Restarts = req.Restarts
+	}
+	if opt.Restarts < 0 || opt.Restarts > 64 {
+		return nil, opt, badRequest("restarts %d outside [1, 64]", opt.Restarts)
+	}
+	return pat, opt, nil
+}
+
+func (s *Server) clientError(w http.ResponseWriter, err error) {
+	var bad *badRequestError
+	if errors.As(err, &bad) {
+		obs.Count(s.col, "serve.bad_requests", 1)
+		http.Error(w, bad.Error(), http.StatusBadRequest)
+		return
+	}
+	obs.Count(s.col, "serve.errors", 1)
+	http.Error(w, err.Error(), http.StatusInternalServerError)
+}
+
+// acquire claims a synthesis slot, queueing up to MaxQueue callers.
+func (s *Server) acquire(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	if n := s.queued.Add(1); n > int64(s.cfg.MaxQueue) {
+		s.queued.Add(-1)
+		return errQueueFull
+	}
+	defer s.queued.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// synthesize is the singleflight leader body: admission, the synthesis
+// itself under the request context plus server budget, response rendering,
+// and the cache store.
+func (s *Server) synthesize(runCtx context.Context, key string, pat *model.Pattern, opt synth.Options, reqCol *obs.Collector) (*entry, error) {
+	obs.Count(s.col, "serve.cache_miss", 1)
+	if err := s.acquire(runCtx); err != nil {
+		return nil, err
+	}
+	defer s.release()
+	sp := obs.Span(s.col, "serve.synthesize")
+	defer sp.End()
+
+	ctx := runCtx
+	if s.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
+		defer cancel()
+	}
+	opt.Obs = obs.Tee(s.col, reqCol, s.cfg.Synth.Obs)
+	res, err := synth.SynthesizeContext(ctx, pat, opt)
+	if err != nil {
+		if ctx.Err() != nil {
+			obs.Count(s.col, "serve.synth_aborted", 1)
+		}
+		return nil, err
+	}
+
+	var design bytes.Buffer
+	if err := synth.SaveDesign(&design, res.Net, res.Table); err != nil {
+		return nil, fmt.Errorf("serve: rendering design: %w", err)
+	}
+	rep := reqCol.Report("nocd")
+	rep.Pattern = trace.Summarize(pat)
+	resp := DesignResponse{
+		Schema:         ResponseSchema,
+		Version:        ResponseVersion,
+		PatternHash:    key,
+		Name:           res.Net.Name,
+		Procs:          res.Net.Procs,
+		ConstraintsMet: res.ConstraintsMet,
+		ContentionFree: res.ContentionFree,
+		ExactColoring:  res.ExactColoring,
+		Switches:       res.Net.NumSwitches(),
+		Links:          res.Net.TotalLinks(),
+		Design:         json.RawMessage(design.Bytes()),
+		Stats:          res.Stats,
+		Report:         rep,
+	}
+	body, err := json.MarshalIndent(&resp, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("serve: rendering response: %w", err)
+	}
+	ent := &entry{key: key, body: append(body, '\n')}
+	s.cache.Add(ent)
+	obs.Count(s.col, "serve.cache_store", 1)
+	return ent, nil
+}
+
+func writeEntry(w http.ResponseWriter, ent *entry, how string) {
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("X-Nocd-Cache", how)
+	h.Set("X-Nocd-Pattern-Hash", ent.key)
+	w.Write(ent.body)
+}
+
+// Serve runs the server on ln until ctx is cancelled, then drains
+// gracefully: the listener closes immediately so no new connections are
+// admitted, in-flight requests run to completion, and Serve returns once
+// the last one finishes (bounded by drainTimeout when positive, after which
+// remaining connections are abandoned and the deadline error returned).
+// cmd/nocd drives this with a SIGTERM/SIGINT-bound context.
+func Serve(ctx context.Context, s *Server, ln net.Listener, drainTimeout time.Duration) error {
+	hs := &http.Server{Handler: s}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	obs.Emit(s.col, "serve.drain", "shutdown signal received")
+	dctx := context.Background()
+	if drainTimeout > 0 {
+		var cancel context.CancelFunc
+		dctx, cancel = context.WithTimeout(dctx, drainTimeout)
+		defer cancel()
+	}
+	return hs.Shutdown(dctx)
+}

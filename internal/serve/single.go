@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup deduplicates concurrent work per key (singleflight): the
+// first caller for a key becomes the leader and runs fn once; callers
+// arriving while that call is in flight share its result.
+//
+// Cancellation is reference-counted rather than tied to the leader's
+// request: fn runs under a context detached from any single caller, and
+// each caller — leader included — counts as a waiter on the call. A caller
+// whose own context dies stops waiting immediately; when the last waiter
+// abandons the call, the shared context is cancelled so the synthesis
+// aborts instead of burning a worker for a result nobody wants. A late
+// joiner therefore keeps the work alive even after the original requester
+// hangs up.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done   chan struct{} // closed when fn returns
+	cancel context.CancelFunc
+
+	mu      sync.Mutex
+	waiters int
+
+	// ent and err are written by the runner goroutine before done closes
+	// and read only after <-done, so the close is their happens-before.
+	ent *entry
+	err error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flightCall)}
+}
+
+// Do returns fn's result for key, collapsing concurrent calls. shared
+// reports whether this caller joined another caller's in-flight work. If
+// ctx dies before the call completes, Do returns ctx.Err() promptly; the
+// underlying work is cancelled only once every waiter has given up.
+func (g *flightGroup) Do(ctx context.Context, key string, fn func(runCtx context.Context) (*entry, error)) (ent *entry, err error, shared bool) {
+	g.mu.Lock()
+	if c, ok := g.m[key]; ok {
+		c.mu.Lock()
+		c.waiters++
+		c.mu.Unlock()
+		g.mu.Unlock()
+		ent, err = c.wait(ctx)
+		return ent, err, true
+	}
+	runCtx, cancel := context.WithCancel(context.Background())
+	c := &flightCall{done: make(chan struct{}), cancel: cancel, waiters: 1}
+	g.m[key] = c
+	g.mu.Unlock()
+	go func() {
+		c.ent, c.err = fn(runCtx)
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		close(c.done)
+		cancel()
+	}()
+	ent, err = c.wait(ctx)
+	return ent, err, false
+}
+
+// wait blocks until the call completes or ctx dies, whichever is first; a
+// dead ctx deregisters this waiter (cancelling the shared work when it was
+// the last) and surfaces the ctx error.
+func (c *flightCall) wait(ctx context.Context) (*entry, error) {
+	select {
+	case <-c.done:
+		return c.ent, c.err
+	case <-ctx.Done():
+		c.drop()
+		return nil, ctx.Err()
+	}
+}
+
+// drop deregisters one waiter, cancelling the shared work when none remain.
+func (c *flightCall) drop() {
+	c.mu.Lock()
+	c.waiters--
+	if c.waiters == 0 {
+		c.cancel()
+	}
+	c.mu.Unlock()
+}

@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestFlightGroupCollapses(t *testing.T) {
+	g := newFlightGroup()
+	var calls atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	const n = 5
+	var wg sync.WaitGroup
+	var sharedCount atomic.Int64
+	bodies := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ent, err, shared := g.Do(context.Background(), "k", func(context.Context) (*entry, error) {
+				calls.Add(1)
+				close(started)
+				<-release
+				return &entry{key: "k", body: []byte("result")}, nil
+			})
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+				return
+			}
+			if shared {
+				sharedCount.Add(1)
+			}
+			bodies[i] = ent.body
+		}(i)
+	}
+	<-started
+	time.Sleep(20 * time.Millisecond) // let the stragglers join the flight
+	close(release)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Errorf("fn ran %d times, want 1", got)
+	}
+	if got := sharedCount.Load(); got != n-1 {
+		t.Errorf("shared for %d callers, want %d", got, n-1)
+	}
+	for i, b := range bodies {
+		if string(b) != "result" {
+			t.Errorf("caller %d got %q", i, b)
+		}
+	}
+}
+
+func TestFlightGroupDistinctKeysIndependent(t *testing.T) {
+	g := newFlightGroup()
+	var calls atomic.Int64
+	var wg sync.WaitGroup
+	for _, k := range []string{"a", "b", "a"} {
+		wg.Add(1)
+		go func(k string) {
+			defer wg.Done()
+			g.Do(context.Background(), k, func(context.Context) (*entry, error) {
+				calls.Add(1)
+				time.Sleep(10 * time.Millisecond)
+				return &entry{key: k}, nil
+			})
+		}(k)
+	}
+	wg.Wait()
+	// At least one call per key; the duplicate "a" may or may not collapse
+	// depending on scheduling, so 2 or 3 total — never 1.
+	if got := calls.Load(); got < 2 || got > 3 {
+		t.Errorf("fn ran %d times, want 2 or 3", got)
+	}
+}
+
+// TestFlightGroupErrorShared pins that a leader failure propagates to every
+// waiter and that the key is reusable afterwards.
+func TestFlightGroupErrorShared(t *testing.T) {
+	g := newFlightGroup()
+	boom := errors.New("boom")
+	_, err, _ := g.Do(context.Background(), "k", func(context.Context) (*entry, error) {
+		return nil, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	ent, err, _ := g.Do(context.Background(), "k", func(context.Context) (*entry, error) {
+		return &entry{key: "k", body: []byte("ok")}, nil
+	})
+	if err != nil || string(ent.body) != "ok" {
+		t.Errorf("retry after failure: ent=%v err=%v", ent, err)
+	}
+}
+
+// TestFlightGroupLastWaiterCancels pins the reference-counted cancellation:
+// the shared run context dies only when the LAST interested caller gives up.
+func TestFlightGroupLastWaiterCancels(t *testing.T) {
+	g := newFlightGroup()
+	started := make(chan struct{})
+	runDead := make(chan struct{})
+
+	fn := func(runCtx context.Context) (*entry, error) {
+		close(started)
+		<-runCtx.Done() // only ever released by cancellation
+		close(runDead)
+		return nil, runCtx.Err()
+	}
+
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	defer cancel1()
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+
+	errs := make(chan error, 2)
+	go func() {
+		_, err, _ := g.Do(ctx1, "k", fn)
+		errs <- err
+	}()
+	<-started
+	go func() {
+		_, err, _ := g.Do(ctx2, "k", fn)
+		errs <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let caller 2 join
+
+	cancel1() // one waiter remains: work must stay alive
+	if err := <-errs; !errors.Is(err, context.Canceled) {
+		t.Fatalf("first caller err = %v, want Canceled", err)
+	}
+	select {
+	case <-runDead:
+		t.Fatal("run context died while a waiter remained")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	cancel2() // last waiter leaves: now the work must be cancelled
+	if err := <-errs; !errors.Is(err, context.Canceled) {
+		t.Fatalf("second caller err = %v, want Canceled", err)
+	}
+	select {
+	case <-runDead:
+	case <-time.After(5 * time.Second):
+		t.Fatal("run context never cancelled after last waiter left")
+	}
+}
+
+// TestFlightGroupCompletesWithoutWaiters pins that abandoned work still
+// finishing is harmless: fn may complete after every caller left.
+func TestFlightGroupCompletesWithoutWaiters(t *testing.T) {
+	g := newFlightGroup()
+	started := make(chan struct{})
+	finished := make(chan struct{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		g.Do(ctx, "k", func(runCtx context.Context) (*entry, error) {
+			close(started)
+			<-runCtx.Done()
+			defer close(finished)
+			return &entry{key: "k"}, nil // completes "successfully" anyway
+		})
+	}()
+	<-started
+	cancel()
+	select {
+	case <-finished:
+	case <-time.After(5 * time.Second):
+		t.Fatal("abandoned fn never unblocked")
+	}
+	// The key must be free for the next caller.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ent, err, shared := g.Do(context.Background(), "k", func(context.Context) (*entry, error) {
+			return &entry{key: "k", body: []byte("fresh")}, nil
+		})
+		if err == nil && !shared && string(ent.body) == "fresh" {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("key never freed: ent=%v err=%v shared=%v", ent, err, shared)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

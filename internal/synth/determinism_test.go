@@ -2,7 +2,9 @@ package synth
 
 import (
 	"bytes"
+	"context"
 	"testing"
+	"time"
 
 	"repro/internal/nas"
 )
@@ -68,6 +70,42 @@ func TestDeterminismParallelSelfIdentical(t *testing.T) {
 				first = b
 			} else if !bytes.Equal(b, first) {
 				t.Fatalf("%s: parallel run %d differs from run 0", name, rep)
+			}
+		}
+	}
+}
+
+// TestDeterminismContextPlumbing guards the SynthesizeContext refactor: a
+// live (never-cancelled) context must be output-inert. For every NAS
+// pattern, Synthesize and SynthesizeContext with a non-nil context — plain,
+// cancellable, and deadline-bearing — must return byte-identical designs.
+// The cancellation checks read ctx.Err() only; if one ever perturbs the RNG
+// stream or an iteration order, this test catches it.
+func TestDeterminismContextPlumbing(t *testing.T) {
+	for _, name := range nas.Names() {
+		small, _ := nas.PaperProcs(name)
+		pat, err := nas.Generate(name, small, quickNASConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := Options{Seed: 3, Restarts: 2, Workers: 4}
+		want := designBytes(t, synthOrDie(t, pat, opt))
+
+		cancelCtx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		deadlineCtx, cancel2 := context.WithTimeout(context.Background(), time.Hour)
+		defer cancel2()
+		for label, ctx := range map[string]context.Context{
+			"background": context.Background(),
+			"cancelable": cancelCtx,
+			"deadline":   deadlineCtx,
+		} {
+			res, err := SynthesizeContext(ctx, pat, opt)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, label, err)
+			}
+			if got := designBytes(t, res); !bytes.Equal(got, want) {
+				t.Errorf("%s: %s context changed the design bytes", name, label)
 			}
 		}
 	}

@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -235,6 +236,22 @@ func repairConnectivity(net *topology.Network) int {
 // every byte of the returned design) is identical to the serial loop's no
 // matter which worker finishes first.
 func Synthesize(p *model.Pattern, opt Options) (*Result, error) {
+	return SynthesizeContext(context.Background(), p, opt)
+}
+
+// SynthesizeContext is Synthesize with cancellation: ctx is polled at every
+// restart boundary and at every bisection (partition-loop) boundary, so a
+// cancelled context aborts the run promptly — in-flight restarts return at
+// their next check, the pool drains, and the first restart's ctx error (in
+// restart-index order, matching the serial loop) is returned. A nil ctx is
+// treated as context.Background(). Threading a live but never-cancelled
+// context is free of behavioral effect: the checks read ctx.Err() only, so
+// the RNG streams, the fold order, and every byte of the returned design are
+// identical to Synthesize's (pinned by TestDeterminismContextPlumbing).
+func SynthesizeContext(ctx context.Context, p *model.Pattern, opt Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("synth: %v", err)
 	}
@@ -252,12 +269,15 @@ func Synthesize(p *model.Pattern, opt Options) (*Result, error) {
 	}
 	runBatch := func(from, n int) []runOut {
 		outs, _ := parallel.Map(opt.Workers, n, func(i int) (runOut, error) {
+			if err := ctx.Err(); err != nil {
+				return runOut{err: err}, nil
+			}
 			// The span is emitted from the worker (wall time); all
 			// counter-valued telemetry stays in res.Stats and is
 			// published by the in-order fold below, so speculative
 			// extension restarts never leak into the counters.
 			rsp := obs.Span(opt.Obs, "synth.restart")
-			res, err := synthesizeOnce(p, cliques, opt, opt.Seed+int64(from+i)*7919)
+			res, err := synthesizeOnce(ctx, p, cliques, opt, opt.Seed+int64(from+i)*7919)
 			rsp.End()
 			return runOut{res: res, err: err}, nil
 		})
@@ -372,9 +392,10 @@ func totalHops(t *routing.Table) int {
 	return h
 }
 
-func synthesizeOnce(p *model.Pattern, cliques []model.Clique, opt Options, seed int64) (*Result, error) {
+func synthesizeOnce(ctx context.Context, p *model.Pattern, cliques []model.Clique, opt Options, seed int64) (*Result, error) {
 	stats := &Stats{}
 	s := newState(p, cliques, opt, seed, stats)
+	s.ctx = ctx
 	var (
 		net     *topology.Network
 		table   *routing.Table
@@ -384,8 +405,14 @@ func synthesizeOnce(p *model.Pattern, cliques []model.Clique, opt Options, seed 
 		err     error
 	)
 	for round := 0; round < opt.MaxRounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		stats.Rounds = round + 1
 		estOK := s.partition()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		net, table, realDeg, exact, err = s.finalize(fmt.Sprintf("generated.%s", p.Name))
 		if err != nil {
 			return nil, err

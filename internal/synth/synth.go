@@ -17,6 +17,7 @@
 package synth
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -188,6 +189,11 @@ type state struct {
 	rng       *rand.Rand
 	opt       Options
 	stats     *Stats
+	// ctx, when non-nil, is polled at bisection boundaries so a cancelled
+	// request abandons the partitioning loop promptly. The checks read
+	// ctx.Err() only — they never touch the RNG or iteration order, so a
+	// live but never-cancelled context leaves the run byte-identical.
+	ctx context.Context
 
 	// Reusable scratch for cost evaluation; helpers fully consume them
 	// before returning (no nesting), so one buffer each suffices.
@@ -565,6 +571,9 @@ func (s *state) globalRefine() {
 		return
 	}
 	for sweep := 0; sweep < 6; sweep++ {
+		if s.cancelled() {
+			return
+		}
 		changed := false
 		if !s.opt.DisableBestRoute {
 			all := make([]int, len(s.swProcs))
@@ -624,9 +633,19 @@ func (s *state) globalRefine() {
 // partition runs the main loop: while some switch violates the constraints
 // and can be split, split it and locally optimize. Returns false if
 // violations remain but no switch can be split further.
+// cancelled reports whether the run's context has been cancelled. The
+// caller chain (partition → synthesizeOnce → SynthesizeContext) converts a
+// true return into the context's error.
+func (s *state) cancelled() bool {
+	return s.ctx != nil && s.ctx.Err() != nil
+}
+
 func (s *state) partition() bool {
 	cap := 6*s.procs + 16
 	for iter := 0; iter < cap; iter++ {
+		if s.cancelled() {
+			return false
+		}
 		var splittable []int
 		anyViolation := false
 		for sw := range s.swProcs {
