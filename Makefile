@@ -4,7 +4,7 @@
 # reduction cannot pass by luck.
 GO ?= go
 
-.PHONY: verify vet build test race determinism cover-serve bench bench-synth bench-obs bench-flitsim bench-all fuzz
+.PHONY: verify vet build test race determinism cover-serve cover-collective bench bench-synth bench-obs bench-flitsim bench-all fuzz
 
 verify: vet build race determinism
 
@@ -33,6 +33,16 @@ cover-serve:
 	@total=$$($(GO) tool cover -func=cover_serve.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
 	echo "internal/serve line coverage: $$total% (floor 80%)"; \
 	awk "BEGIN {exit !($$total >= 80.0)}" || { echo "FAIL: coverage $$total% below the 80% floor"; exit 1; }
+
+# cover-collective is the collective-generator coverage gate: the golden,
+# property, error, and determinism suites must keep internal/collective at
+# >= 85% line coverage. Writes COVER_collective.txt for the CI artifact.
+cover-collective:
+	$(GO) test -count=1 -coverprofile=cover_collective.out ./internal/collective/
+	$(GO) tool cover -func=cover_collective.out | tee COVER_collective.txt
+	@total=$$($(GO) tool cover -func=cover_collective.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "internal/collective line coverage: $$total% (floor 85%)"; \
+	awk "BEGIN {exit !($$total >= 85.0)}" || { echo "FAIL: coverage $$total% below the 85% floor"; exit 1; }
 
 # bench-synth runs the synthesis hot-path benchmarks with allocation stats
 # and writes BENCH_synth.json (a machine-readable summary) plus
@@ -75,3 +85,4 @@ bench-all:
 
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParseTrace -fuzztime 30s ./internal/trace
+	$(GO) test -run '^$$' -fuzz FuzzCollectiveConfig -fuzztime 30s ./internal/collective

@@ -14,10 +14,11 @@
 //
 // Endpoints:
 //
-//	POST /design      {"benchmark":"CG","procs":16} or {"trace":"noctrace v1\n..."}
+//	POST /design      {"benchmark":"CG","procs":16}, {"benchmark":"ring-allreduce","procs":64},
+//	                  or {"trace":"noctrace v1\n..."}
 //	GET  /healthz     liveness probe
 //	GET  /metrics     server-lifetime RunReport JSON (serve.*, synth.*, coloring.* counters)
-//	GET  /benchmarks  the NAS benchmark names
+//	GET  /benchmarks  the workload names: NAS benchmarks plus collectives
 package main
 
 import (

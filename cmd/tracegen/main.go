@@ -1,9 +1,11 @@
-// Command tracegen emits a synthetic NAS-style communication trace in
-// noctrace v1 format.
+// Command tracegen emits a synthetic communication trace in noctrace v1
+// format: one of the five NAS-style benchmarks, or — with -collective — one
+// of the ML collective workloads.
 //
 // Usage:
 //
 //	tracegen -bench CG -procs 16 [-iters 4] [-bytescale 1.0] [-skew 0] [-seed 1] [-o trace.txt] [-report run.json]
+//	tracegen -collective ring-allreduce -n 64 [-iters 2] [-bytescale 1.0] [-o trace.txt]
 package main
 
 import (
@@ -12,29 +14,43 @@ import (
 	"os"
 
 	"repro/internal/cliutil"
+	"repro/internal/collective"
+	"repro/internal/model"
 	"repro/internal/nas"
 	"repro/internal/trace"
 )
 
 func main() {
 	var (
-		bench     = flag.String("bench", "CG", "benchmark: BT, CG, FFT, MG, SP")
+		bench     = flag.String("bench", "CG", "NAS benchmark: BT, CG, FFT, MG, SP")
+		coll      = flag.String("collective", "", "collective workload (overrides -bench): ring-allreduce, reduce-scatter, all-gather, tree-broadcast")
 		procs     = flag.Int("procs", 16, "processor count")
-		iters     = flag.Int("iters", 0, "main-loop iterations (0 = benchmark default)")
+		iters     = flag.Int("iters", 0, "main-loop iterations / collective repeats (0 = workload default)")
 		byteScale = flag.Float64("bytescale", 0, "message size multiplier (0 = 1.0)")
 		skew      = flag.Float64("skew", 0, "max per-processor start-time skew, trace units")
 		out       = flag.String("o", "", "output file (default stdout)")
 		shared    cliutil.Flags
 	)
+	flag.IntVar(procs, "n", 16, "alias for -procs")
 	shared.RegisterSeed(flag.CommandLine, "seed for the skew model")
 	shared.RegisterReport(flag.CommandLine)
 	flag.Parse()
 
-	pat, err := nas.Generate(*bench, *procs, nas.Config{
-		Iterations: *iters,
-		ByteScale:  *byteScale,
-		Obs:        shared.Observer(),
-	})
+	var pat *model.Pattern
+	var err error
+	if *coll != "" {
+		pat, err = collective.Generate(*coll, *procs, collective.Config{
+			Repeats:   *iters,
+			ByteScale: *byteScale,
+			Obs:       shared.Observer(),
+		})
+	} else {
+		pat, err = nas.Generate(*bench, *procs, nas.Config{
+			Iterations: *iters,
+			ByteScale:  *byteScale,
+			Obs:        shared.Observer(),
+		})
+	}
 	if err != nil {
 		fatal(err)
 	}

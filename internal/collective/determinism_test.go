@@ -1,0 +1,75 @@
+package collective
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// traceSHA returns the SHA-256 of a pattern's canonical noctrace encoding.
+func traceSHA(t *testing.T, name string, nodes int, cfg Config) string {
+	t.Helper()
+	p, err := Generate(name, nodes, cfg)
+	if err != nil {
+		t.Fatalf("Generate(%s, %d): %v", name, nodes, err)
+	}
+	var buf bytes.Buffer
+	if err := trace.Encode(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:])
+}
+
+// TestDeterminismCollectiveTraces pins generator determinism at the byte
+// level: repeated generation of the same collective hashes identically, and
+// distinct collectives or sizes never collide.
+func TestDeterminismCollectiveTraces(t *testing.T) {
+	seen := make(map[string]string)
+	for _, name := range Names() {
+		for _, nodes := range []int{8, 16} {
+			a := traceSHA(t, name, nodes, Config{})
+			b := traceSHA(t, name, nodes, Config{})
+			if a != b {
+				t.Errorf("%s/%d: repeated generation hashes differ: %s vs %s", name, nodes, a, b)
+			}
+			if prev, dup := seen[a]; dup {
+				t.Errorf("%s/%d: trace hash collides with %s", name, nodes, prev)
+			}
+			seen[a] = name
+		}
+	}
+}
+
+// TestDeterminismCollectiveSynthWorkers extends the repo's worker-count
+// determinism contract to the collective patterns: synthesizing any
+// collective with Workers:1 and Workers:8 must produce byte-identical
+// designs (SHA-256 over the serialized topology, pipe widths, and routes).
+func TestDeterminismCollectiveSynthWorkers(t *testing.T) {
+	for _, name := range Names() {
+		pat, err := Generate(name, 8, Config{Repeats: 1, ByteScale: 0.25})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sums [2]string
+		for i, workers := range []int{1, 8} {
+			res, err := synth.Synthesize(pat, synth.Options{Seed: 1, Restarts: 2, Workers: workers})
+			if err != nil {
+				t.Fatalf("%s Workers:%d: %v", name, workers, err)
+			}
+			var buf bytes.Buffer
+			if err := synth.SaveDesign(&buf, res.Net, res.Table); err != nil {
+				t.Fatal(err)
+			}
+			sum := sha256.Sum256(buf.Bytes())
+			sums[i] = hex.EncodeToString(sum[:])
+		}
+		if sums[0] != sums[1] {
+			t.Errorf("%s: design SHA differs across worker counts: %s vs %s", name, sums[0], sums[1])
+		}
+	}
+}

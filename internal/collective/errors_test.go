@@ -1,0 +1,93 @@
+package collective
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestGenerateCollectiveNames pins the error contract the design server
+// depends on: every registered name generates cleanly, and any other name
+// comes back as a typed *UnknownCollectiveError — never a panic — so
+// callers can map it to a client error with errors.As.
+func TestGenerateCollectiveNames(t *testing.T) {
+	cases := []struct {
+		name    string
+		nodes   int
+		unknown bool
+	}{
+		{"ring-allreduce", 8, false},
+		{"reduce-scatter", 8, false},
+		{"all-gather", 8, false},
+		{"tree-broadcast", 8, false},
+		{"allreduce", 8, true},
+		{"Ring-Allreduce", 8, true}, // names are case-sensitive
+		{"CG", 8, true},             // NAS names live in internal/nas, not here
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := Generate(tc.name, tc.nodes, Config{Repeats: 1})
+			if !tc.unknown {
+				if err != nil {
+					t.Fatalf("Generate(%s, %d): %v", tc.name, tc.nodes, err)
+				}
+				if p.Procs != tc.nodes {
+					t.Fatalf("got %d procs, want %d", p.Procs, tc.nodes)
+				}
+				return
+			}
+			var uce *UnknownCollectiveError
+			if !errors.As(err, &uce) {
+				t.Fatalf("Generate(%s): got %v, want *UnknownCollectiveError", tc.name, err)
+			}
+			if uce.Name != tc.name {
+				t.Errorf("error names %q, want %q", uce.Name, tc.name)
+			}
+		})
+	}
+	if len(Names()) != len(Generators) {
+		t.Errorf("Names() lists %d collectives, registry holds %d", len(Names()), len(Generators))
+	}
+	for _, name := range Names() {
+		if Generators[name] == nil {
+			t.Errorf("Names() entry %q missing from Generators", name)
+		}
+		if _, ok := Steps(name, 8); !ok {
+			t.Errorf("Steps does not know %q", name)
+		}
+	}
+}
+
+// TestGenerateNodeCountError pins the typed error for node counts the
+// schedules cannot express: out-of-range values everywhere, non-powers of
+// two for the broadcast tree.
+func TestGenerateNodeCountError(t *testing.T) {
+	cases := []struct {
+		name  string
+		nodes int
+	}{
+		{"ring-allreduce", 1},
+		{"ring-allreduce", 0},
+		{"ring-allreduce", -4},
+		{"reduce-scatter", 257},
+		{"all-gather", 1024},
+		{"tree-broadcast", 12}, // in range but not a power of two
+		{"tree-broadcast", 300},
+	}
+	for _, tc := range cases {
+		_, err := Generate(tc.name, tc.nodes, Config{Repeats: 1})
+		var nce *NodeCountError
+		if !errors.As(err, &nce) {
+			t.Fatalf("Generate(%s, %d): got %v, want *NodeCountError", tc.name, tc.nodes, err)
+		}
+		if nce.Collective != tc.name || nce.Nodes != tc.nodes || nce.Want == "" {
+			t.Errorf("Generate(%s, %d): error fields %+v", tc.name, tc.nodes, nce)
+		}
+	}
+	// The range bounds themselves are accepted.
+	if _, err := Generate("ring-allreduce", MinNodes, Config{Repeats: 1}); err != nil {
+		t.Errorf("MinNodes rejected: %v", err)
+	}
+	if _, err := Generate("ring-allreduce", MaxNodes, Config{Repeats: 1}); err != nil {
+		t.Errorf("MaxNodes rejected: %v", err)
+	}
+}

@@ -1,0 +1,66 @@
+package collective
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// FuzzCollectiveConfig drives arbitrary workload names, node counts, and
+// chunk/buffer sizes through the generators and the noctrace codec. Three
+// properties must hold: Generate never panics; every rejection is one of
+// the typed errors the design server maps to a 400; and every accepted
+// pattern validates and survives an encode → decode → encode round trip
+// byte-identically.
+func FuzzCollectiveConfig(f *testing.F) {
+	f.Add("ring-allreduce", 8, 16384, 2)
+	f.Add("reduce-scatter", 16, 1024, 1)
+	f.Add("all-gather", 3, 7, 1) // odd node count, chunk rounds up
+	f.Add("tree-broadcast", 64, 4096, 2)
+	f.Add("tree-broadcast", 12, 4096, 1) // not a power of two: typed error
+	f.Add("ring-allreduce", 0, 0, 0)
+	f.Add("ring-allreduce", 257, 16384, 1)
+	f.Add("nope", 8, 16384, 1)
+	f.Add("", -5, -1, -1)
+	f.Fuzz(func(t *testing.T, name string, nodes, bufBytes, repeats int) {
+		// Bound the work, not the validation: node counts stay raw so the
+		// range check is exercised, but accepted configs are kept
+		// unit-test sized.
+		if repeats > 4 {
+			repeats = repeats%4 + 1
+		}
+		if bufBytes > 1<<20 {
+			bufBytes = bufBytes % (1 << 20)
+		}
+		p, err := Generate(name, nodes, Config{BufferBytes: bufBytes, Repeats: repeats})
+		if err != nil {
+			var uce *UnknownCollectiveError
+			var nce *NodeCountError
+			if !errors.As(err, &uce) && !errors.As(err, &nce) {
+				t.Fatalf("Generate(%q, %d) returned an untyped error: %v", name, nodes, err)
+			}
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("accepted pattern invalid: %v", err)
+		}
+		var first bytes.Buffer
+		if err := trace.Encode(&first, p); err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		p2, err := trace.Decode(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("Decode of own encoding failed: %v", err)
+		}
+		var second bytes.Buffer
+		if err := trace.Encode(&second, p2); err != nil {
+			t.Fatalf("second Encode: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("generator output does not round-trip the codec\nfirst:\n%s\nsecond:\n%s",
+				first.String(), second.String())
+		}
+	})
+}

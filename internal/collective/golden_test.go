@@ -1,0 +1,79 @@
+package collective
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden schedule files")
+
+// goldenSizes lists the node counts the golden files pin. 8 and 16 match
+// the harness grid; 64 exercises a size the unit suites never synthesize.
+var goldenSizes = []int{8, 16, 64}
+
+// TestGoldenSchedules pins the exact phase list of every collective at
+// every golden size against committed files: labels, time windows, compute
+// gaps, payload sizes, flow sets (via digest), and the SHA-256 of the full
+// noctrace encoding. Any change to a schedule — a reordered step, a shifted
+// timestamp, a different chunk size — shows up as a readable diff in the
+// phase lines or, at minimum, flips the trailing hash. Regenerate with
+// `go test ./internal/collective -run TestGoldenSchedules -update` and
+// review the diff.
+func TestGoldenSchedules(t *testing.T) {
+	for _, name := range Names() {
+		for _, nodes := range goldenSizes {
+			t.Run(fmt.Sprintf("%s/%d", name, nodes), func(t *testing.T) {
+				p, err := Generate(name, nodes, Config{})
+				if err != nil {
+					t.Fatalf("Generate(%s, %d): %v", name, nodes, err)
+				}
+				got := FormatSchedule(p)
+				path := filepath.Join("testdata", fmt.Sprintf("%s.%d.golden", name, nodes))
+				if *update {
+					if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+						t.Fatalf("writing golden: %v", err)
+					}
+					return
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("reading golden (regenerate with -update): %v", err)
+				}
+				if got != string(want) {
+					t.Errorf("schedule drifted from %s\n--- got ---\n%s--- want ---\n%s", path, got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestGoldenFilesComplete fails if testdata contains stale golden files for
+// collectives or sizes no longer generated, so renames cannot leave
+// orphaned goldens behind.
+func TestGoldenFilesComplete(t *testing.T) {
+	if *update {
+		t.Skip("regenerating")
+	}
+	expected := make(map[string]bool)
+	for _, name := range Names() {
+		for _, nodes := range goldenSizes {
+			expected[fmt.Sprintf("%s.%d.golden", name, nodes)] = true
+		}
+	}
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !expected[e.Name()] {
+			t.Errorf("stale golden file testdata/%s", e.Name())
+		}
+		delete(expected, e.Name())
+	}
+	for name := range expected {
+		t.Errorf("missing golden file testdata/%s", name)
+	}
+}

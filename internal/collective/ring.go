@@ -1,0 +1,73 @@
+package collective
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/trace"
+)
+
+// ringStep builds one neighbor-shift step of a ring pass: every node i
+// sends one chunk to its successor (i+1) mod N, all transfers synchronized.
+// Each step is a permutation — exactly one send and one receive per node —
+// which is what makes ring collectives maximally well-behaved: the step's
+// flows form a single contention period whose maximum clique is the whole
+// ring.
+func ringStep(label string, nodes, bytes int) trace.PhaseSpec {
+	fs := make([]model.Flow, 0, nodes)
+	for i := 0; i < nodes; i++ {
+		fs = append(fs, model.F(i, (i+1)%nodes))
+	}
+	return trace.PhaseSpec{Label: label, Flows: fs, Bytes: bytes}
+}
+
+// ringPass appends the N−1 steps of one ring pass (a reduce-scatter or an
+// all-gather), labelled prefix.s0 … prefix.s{N−2}. In step s node i moves
+// chunk (i−s) mod N for a reduce-scatter and chunk (i+1−s) mod N for an
+// all-gather; the chunk index does not change the flow structure, so the
+// schedule records only the step.
+func ringPass(phases []trace.PhaseSpec, prefix string, nodes, chunkBytes int) []trace.PhaseSpec {
+	for s := 0; s < nodes-1; s++ {
+		phases = append(phases, ringStep(fmt.Sprintf("%s.s%d", prefix, s), nodes, chunkBytes))
+	}
+	return phases
+}
+
+// ReduceScatter generates the ring reduce-scatter: Repeats executions of
+// N−1 neighbor-shift steps moving B/N-byte chunks. After one execution
+// every node has sent and received exactly (N−1)/N of the buffer.
+func ReduceScatter(nodes int, cfg Config) (*model.Pattern, error) {
+	return ringCollective("reduce-scatter", []string{"reduce_scatter"}, nodes, cfg)
+}
+
+// AllGather generates the ring all-gather: the same N−1 neighbor-shift
+// steps, each forwarding the newest B/N chunk until every node holds all N.
+func AllGather(nodes int, cfg Config) (*model.Pattern, error) {
+	return ringCollective("all-gather", []string{"all_gather"}, nodes, cfg)
+}
+
+// RingAllReduce generates the bandwidth-optimal ring allreduce: a
+// reduce-scatter pass followed by an all-gather pass, 2(N−1) steps of
+// B/N-byte chunks per execution.
+func RingAllReduce(nodes int, cfg Config) (*model.Pattern, error) {
+	return ringCollective("ring-allreduce", []string{"reduce_scatter", "all_gather"}, nodes, cfg)
+}
+
+// ringCollective lays out Repeats executions of the given ring passes, with
+// a compute gap after each execution standing in for the compute phase
+// between collectives.
+func ringCollective(name string, passes []string, nodes int, cfg Config) (*model.Pattern, error) {
+	cfg = cfg.Normalized()
+	if err := checkNodes(name, nodes, false); err != nil {
+		return nil, err
+	}
+	chunk := cfg.chunk(nodes)
+	var phases []trace.PhaseSpec
+	for rep := 0; rep < cfg.Repeats; rep++ {
+		for _, prefix := range passes {
+			phases = ringPass(phases, prefix, nodes, chunk)
+		}
+		phases[len(phases)-1].ComputeAfter = cfg.computeGap(nodes)
+	}
+	return build(name, nodes, phases), nil
+}

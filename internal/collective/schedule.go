@@ -1,0 +1,62 @@
+package collective
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/trace"
+)
+
+// ScheduleVersion identifies the collective-schedule text artifact the
+// golden files pin; bump it on any change to FormatSchedule's output.
+const ScheduleVersion = "collective-schedule v1"
+
+// FormatSchedule renders a pattern's phase schedule in the compact
+// collective-schedule v1 text form committed as golden files: a header,
+// one line per phase —
+//
+//	phase <label> <start> <finish> <computeAfter> <bytes> <nflows> <flowdigest>
+//
+// where flowdigest is the first 8 hex digits of the SHA-256 over the
+// phase's sorted flow list — and a trailing trace-sha256 line hashing the
+// full canonical noctrace v1 encoding. The phase lines keep schedule diffs
+// human-readable; the trailing hash pins every remaining byte (message
+// IDs, exact timestamps) so any drift in the generator output fails the
+// golden comparison.
+func FormatSchedule(p *model.Pattern) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", ScheduleVersion)
+	fmt.Fprintf(&b, "name %s\n", p.Name)
+	fmt.Fprintf(&b, "nodes %d\n", p.Procs)
+	for _, ph := range p.Phases {
+		bytes := 0
+		flows := make([]model.Flow, 0, len(ph.Messages))
+		for _, mi := range ph.Messages {
+			m := p.Messages[mi]
+			bytes = m.Bytes
+			flows = append(flows, m.Flow())
+		}
+		sort.Slice(flows, func(i, j int) bool { return flows[i].Less(flows[j]) })
+		fmt.Fprintf(&b, "phase %s %g %g %g %d %d %s\n",
+			ph.Label, ph.Start, ph.Finish, ph.ComputeAfter, bytes, len(flows), flowDigest(flows))
+	}
+	h := sha256.New()
+	// Encode writes to an in-memory hash and cannot fail.
+	_ = trace.Encode(h, p)
+	fmt.Fprintf(&b, "trace-sha256 %s\n", hex.EncodeToString(h.Sum(nil)))
+	return b.String()
+}
+
+// flowDigest returns the first 8 hex digits of the SHA-256 over a sorted
+// flow list.
+func flowDigest(flows []model.Flow) string {
+	h := sha256.New()
+	for _, f := range flows {
+		fmt.Fprintf(h, "%d>%d\n", f.Src, f.Dst)
+	}
+	return hex.EncodeToString(h.Sum(nil))[:8]
+}

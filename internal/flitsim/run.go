@@ -42,6 +42,14 @@ func RunTorus(pat *model.Pattern, cfg Config) (Result, error) {
 	return Run(pat, net, TFAR{Grid: grid}, cfg)
 }
 
+// RunRing simulates the pattern on a bidirectional ring — the conventional
+// home of collective workloads — with true fully adaptive minimal routing
+// (the 1×N degenerate case of the torus router).
+func RunRing(pat *model.Pattern, cfg Config) (Result, error) {
+	net, grid := topology.Ring(pat.Procs)
+	return Run(pat, net, TFAR{Grid: grid}, cfg)
+}
+
 // RunCrossbar simulates the pattern on the ideal non-blocking crossbar.
 func RunCrossbar(pat *model.Pattern, cfg Config) (Result, error) {
 	net := topology.Crossbar(pat.Procs)

@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/collective"
 	"repro/internal/flitsim"
 	"repro/internal/floorplan"
 	"repro/internal/nas"
@@ -23,6 +24,7 @@ func TestKnobStructsConform(t *testing.T) {
 		flitsim.Config{},
 		floorplan.Options{},
 		nas.Config{},
+		collective.Config{},
 	} {
 		typ := reflect.TypeOf(v)
 		name := typ.String()

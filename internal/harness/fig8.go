@@ -63,22 +63,34 @@ func (c Config) Figure8For(name string, procs int) ([]PerfRow, error) {
 	if err != nil {
 		return nil, fmt.Errorf("figure8 %s/%d: %v", name, procs, err)
 	}
+	rows, err := c.compareTopologies(d, Topologies())
+	if err != nil {
+		return nil, fmt.Errorf("figure8 %s/%d: %v", name, procs, err)
+	}
+	return rows, nil
+}
+
+// compareTopologies simulates the design's pattern on each topology in
+// order, normalizing execution and communication time to the crossbar (the
+// list's crossbar entry must precede the rows normalized against it).
+func (c Config) compareTopologies(d *Design, topos []string) ([]PerfRow, error) {
 	var rows []PerfRow
 	var baseExec int64
 	var baseComm float64
-	for _, topo := range Topologies() {
+	for _, topo := range topos {
 		var res flitsim.Result
+		var err error
 		if topo == "generated" {
 			res, err = c.simulateGenerated(d.Pattern, d)
 		} else {
 			res, err = c.simulateBaseline(d.Pattern, topo)
 		}
 		if err != nil {
-			return nil, fmt.Errorf("figure8 %s/%d on %s: %v", name, procs, topo, err)
+			return nil, fmt.Errorf("on %s: %v", topo, err)
 		}
 		row := PerfRow{
-			Benchmark:   name,
-			Procs:       procs,
+			Benchmark:   d.Benchmark,
+			Procs:       d.Procs,
 			Topology:    topo,
 			ExecCycles:  res.ExecCycles,
 			CommCycles:  res.CommCycles,

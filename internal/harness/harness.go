@@ -134,6 +134,8 @@ func (c Config) simulateBaseline(pat *model.Pattern, topo string) (flitsim.Resul
 	switch topo {
 	case "crossbar":
 		return flitsim.RunCrossbar(pat, c.simConfig())
+	case "ring":
+		return flitsim.RunRing(pat, c.simConfig())
 	case "mesh":
 		return flitsim.RunMesh(pat, c.simConfig())
 	case "torus":

@@ -20,6 +20,10 @@
 // The methodology consumes only (src, dst, start, finish, size) tuples
 // grouped into synchronized library calls, so these generators exercise the
 // same code paths as real traces. All generators are deterministic.
+//
+// Package collective provides the ML collective workloads (ring allreduce,
+// reduce-scatter, all-gather, tree broadcast) behind the same registry
+// shape; the design server resolves workload names against both sets.
 package nas
 
 import (

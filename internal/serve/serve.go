@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/collective"
 	"repro/internal/model"
 	"repro/internal/nas"
 	"repro/internal/obs"
@@ -73,8 +74,11 @@ type Config struct {
 	// operator-only. Obs, when set, is teed into every synthesis (test
 	// hook and operator escape hatch).
 	Synth synth.Options
-	// NAS supplies pattern-generation defaults for benchmark requests.
+	// NAS supplies pattern-generation defaults for NAS benchmark requests.
 	NAS nas.Config
+	// Collective supplies pattern-generation defaults for collective
+	// workload requests (names resolved after the NAS registry).
+	Collective collective.Config
 }
 
 // Normalized returns the configuration with every zero field replaced by
@@ -98,11 +102,14 @@ func (c Config) Normalized() Config {
 // DesignRequest is the /design request body. Exactly one pattern source —
 // Benchmark (with Procs) or Trace — must be set.
 type DesignRequest struct {
-	// Benchmark names a NAS benchmark (BT, CG, FFT, MG, SP).
+	// Benchmark names a workload: a NAS benchmark (BT, CG, FFT, MG, SP)
+	// or a collective (ring-allreduce, reduce-scatter, all-gather,
+	// tree-broadcast). NAS names are tried first; the sets are disjoint.
 	Benchmark string `json:"benchmark,omitempty"`
 	// Procs is the processor count for a benchmark pattern.
 	Procs int `json:"procs,omitempty"`
-	// Iterations overrides the benchmark's main-loop iteration count.
+	// Iterations overrides the benchmark's main-loop iteration count
+	// (for a collective: its repeat count).
 	Iterations int `json:"iterations,omitempty"`
 	// Trace is an inline noctrace v1 document.
 	Trace string `json:"trace,omitempty"`
@@ -192,7 +199,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleBenchmarks(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(nas.Names())
+	json.NewEncoder(w).Encode(append(nas.Names(), collective.Names()...))
 }
 
 func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
@@ -273,18 +280,8 @@ func (s *Server) parseDesignRequest(r *http.Request) (*model.Pattern, synth.Opti
 		if req.Procs <= 0 {
 			return nil, opt, badRequest("benchmark requests need procs > 0, got %d", req.Procs)
 		}
-		cfg := s.cfg.NAS
-		cfg.Obs = nil // pattern generation is request work, not server telemetry
-		if req.Iterations > 0 {
-			cfg.Iterations = req.Iterations
-		}
-		p, err := nas.Generate(req.Benchmark, req.Procs, cfg)
+		p, err := s.generateWorkload(req)
 		if err != nil {
-			var ube *nas.UnknownBenchmarkError
-			var pce *nas.ProcCountError
-			if errors.As(err, &ube) || errors.As(err, &pce) {
-				return nil, opt, &badRequestError{err: err}
-			}
 			return nil, opt, err
 		}
 		pat = p
@@ -315,6 +312,51 @@ func (s *Server) parseDesignRequest(r *http.Request) (*model.Pattern, synth.Opti
 		return nil, opt, badRequest("restarts %d outside [1, 64]", opt.Restarts)
 	}
 	return pat, opt, nil
+}
+
+// generateWorkload resolves a named workload against the NAS registry
+// first, then the collective registry (the name sets are disjoint). Typed
+// generator errors — unknown names, shape-constrained processor counts —
+// surface as client errors; a name unknown to both registries reports the
+// full menu.
+func (s *Server) generateWorkload(req DesignRequest) (*model.Pattern, error) {
+	cfg := s.cfg.NAS
+	cfg.Obs = nil // pattern generation is request work, not server telemetry
+	if req.Iterations > 0 {
+		cfg.Iterations = req.Iterations
+	}
+	p, err := nas.Generate(req.Benchmark, req.Procs, cfg)
+	if err == nil {
+		return p, nil
+	}
+	var pce *nas.ProcCountError
+	if errors.As(err, &pce) {
+		return nil, &badRequestError{err: err}
+	}
+	var ube *nas.UnknownBenchmarkError
+	if !errors.As(err, &ube) {
+		return nil, err
+	}
+
+	ccfg := s.cfg.Collective
+	ccfg.Obs = nil
+	if req.Iterations > 0 {
+		ccfg.Repeats = req.Iterations
+	}
+	p, cerr := collective.Generate(req.Benchmark, req.Procs, ccfg)
+	if cerr == nil {
+		return p, nil
+	}
+	var uce *collective.UnknownCollectiveError
+	if errors.As(cerr, &uce) {
+		return nil, badRequest("unknown benchmark or collective %q (benchmarks %v, collectives %v)",
+			req.Benchmark, nas.Names(), collective.Names())
+	}
+	var nce *collective.NodeCountError
+	if errors.As(cerr, &nce) {
+		return nil, &badRequestError{err: cerr}
+	}
+	return nil, cerr
 }
 
 func (s *Server) clientError(w http.ResponseWriter, err error) {

@@ -7,11 +7,13 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/collective"
 	"repro/internal/nas"
 	"repro/internal/obs"
 	"repro/internal/synth"
@@ -21,8 +23,9 @@ import (
 // quickConfig keeps test syntheses at unit-test scale.
 func quickConfig() Config {
 	return Config{
-		Synth: synth.Options{Seed: 1, Restarts: 2},
-		NAS:   nas.Config{Iterations: 1, ByteScale: 0.25},
+		Synth:      synth.Options{Seed: 1, Restarts: 2},
+		NAS:        nas.Config{Iterations: 1, ByteScale: 0.25},
+		Collective: collective.Config{Repeats: 1, ByteScale: 0.25},
 	}
 }
 
@@ -254,7 +257,10 @@ func TestDesignBadRequests(t *testing.T) {
 		{"both sources", `{"benchmark":"CG","procs":16,"trace":"noctrace v1"}`, "mutually exclusive"},
 		{"zero procs", `{"benchmark":"CG"}`, "procs > 0"},
 		{"unknown benchmark", `{"benchmark":"LU","procs":16}`, "unknown benchmark"},
+		{"unknown collective", `{"benchmark":"allreduce","procs":8}`, "collectives"},
 		{"bad proc count", `{"benchmark":"CG","procs":7}`, "power-of-two"},
+		{"collective nodes range", `{"benchmark":"ring-allreduce","procs":512}`, "between 2 and 256"},
+		{"tree non-power-of-two", `{"benchmark":"tree-broadcast","procs":12}`, "power of two"},
 		{"bad trace", `{"trace":"not a noctrace"}`, "decoding trace"},
 		{"restarts too big", `{"benchmark":"CG","procs":16,"restarts":1000}`, "restarts"},
 	}
@@ -444,7 +450,52 @@ func TestHealthzMetricsBenchmarks(t *testing.T) {
 	if err := json.Unmarshal(b, &names); err != nil {
 		t.Fatalf("/benchmarks: %v", err)
 	}
-	if len(names) != 5 || names[1] != "CG" {
-		t.Errorf("/benchmarks = %v", names)
+	want := len(nas.Names()) + len(collective.Names())
+	if len(names) != want || names[1] != "CG" {
+		t.Errorf("/benchmarks = %v, want %d names with NAS first", names, want)
+	}
+	// Collectives are appended after the NAS names, in registry order.
+	if got := names[len(nas.Names()):]; !reflect.DeepEqual(got, collective.Names()) {
+		t.Errorf("/benchmarks collective tail = %v, want %v", got, collective.Names())
+	}
+}
+
+// TestDesignCollective is the collective happy path through the server: a
+// ring-allreduce request designs a network end to end, reports the
+// collective's pattern name, and is served from cache on repetition exactly
+// like a NAS benchmark.
+func TestDesignCollective(t *testing.T) {
+	srv := New(quickConfig())
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	const body = `{"benchmark":"ring-allreduce","procs":8}`
+	resp1, b1 := postDesign(t, ts.URL, body)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp1.StatusCode, b1)
+	}
+	var dr DesignResponse
+	if err := json.Unmarshal(b1, &dr); err != nil {
+		t.Fatal(err)
+	}
+	if dr.Name != "generated.ring-allreduce.8" || dr.Procs != 8 {
+		t.Errorf("designed %q/%d, want generated.ring-allreduce.8/8", dr.Name, dr.Procs)
+	}
+	if !dr.ConstraintsMet || !dr.ContentionFree {
+		t.Errorf("collective design: met=%v free=%v", dr.ConstraintsMet, dr.ContentionFree)
+	}
+	if _, _, err := synth.LoadDesign(bytes.NewReader(dr.Design)); err != nil {
+		t.Errorf("embedded design does not load: %v", err)
+	}
+
+	resp2, b2 := postDesign(t, ts.URL, body)
+	if got := resp2.Header.Get("X-Nocd-Cache"); got != "hit" {
+		t.Errorf("repeat cache header = %q, want hit", got)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Error("collective cache hit not byte-identical")
+	}
+	if got := srv.Metrics().Counter("synth.runs"); got != 1 {
+		t.Errorf("synth.runs = %d, want 1", got)
 	}
 }

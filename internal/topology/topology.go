@@ -341,6 +341,16 @@ func Torus(rows, cols int) (*Network, Grid) {
 	return n, g
 }
 
+// Ring builds the N-switch bidirectional ring — the topology collective
+// workloads are conventionally run on — as a 1×N torus: one switch per
+// processor, unit-width pipes around the cycle (degenerating to a line for
+// N ≤ 2, where the wrap pipe would duplicate the mesh pipe).
+func Ring(n int) (*Network, Grid) {
+	net, g := Torus(1, n)
+	net.Name = fmt.Sprintf("ring.%d", n)
+	return net, g
+}
+
 // Crossbar builds the ideal non-blocking reference: a single megaswitch
 // connecting all processors (the starting point of the synthesis and the
 // normalization baseline of Figure 8).
