@@ -4,7 +4,7 @@
 # reduction cannot pass by luck.
 GO ?= go
 
-.PHONY: verify vet build test race determinism cover-serve cover-collective bench bench-synth bench-obs bench-flitsim bench-all fuzz
+.PHONY: verify vet build test race determinism cover-serve cover-collective bench bench-synth bench-obs bench-flitsim bench-warm bench-all fuzz
 
 verify: vet build race determinism
 
@@ -78,11 +78,25 @@ bench-flitsim:
 			-ratio 'BenchmarkSimulateCG16GapMeshReference:BenchmarkSimulateCG16GapMesh' -min-ratio 10 \
 			$(if $(wildcard BENCH_flitsim.json),-baseline BENCH_flitsim.json -budget 25)
 
-bench: bench-synth bench-obs bench-flitsim
+# bench-warm is the warm-start speedup gate: it runs the warm-start sweep
+# benchmark pair (the same five CG-16 variants synthesized cold and seeded
+# from a prior design), writes BENCH_warm.json/.txt, and fails unless the
+# seeded path beats cold synthesis by >= 5x. Both sides run in the same
+# invocation on the same machine, so the ratio gate needs no committed
+# baseline; the -baseline annotation (when BENCH_warm.json exists)
+# additionally flags absolute ns/op regressions over 25%.
+bench-warm:
+	$(GO) test -run '^$$' -bench 'WarmStartSweep' -benchmem ./internal/synth \
+		| $(GO) run ./cmd/benchjson -o BENCH_warm.json -raw BENCH_warm.txt \
+			-ratio 'BenchmarkWarmStartSweepCold:BenchmarkWarmStartSweepSeeded' -min-ratio 5 \
+			$(if $(wildcard BENCH_warm.json),-baseline BENCH_warm.json -budget 25)
+
+bench: bench-synth bench-obs bench-flitsim bench-warm
 
 bench-all:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...
 
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParseTrace -fuzztime 30s ./internal/trace
+	$(GO) test -run '^$$' -fuzz FuzzFingerprint -fuzztime 30s ./internal/trace
 	$(GO) test -run '^$$' -fuzz FuzzCollectiveConfig -fuzztime 30s ./internal/collective

@@ -29,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -58,13 +59,18 @@ type Ratio struct {
 	MinRatio    float64 `json:"min_ratio,omitempty"`
 }
 
-// Report is the emitted JSON document.
+// Report is the emitted JSON document. GoMaxProcs and NumCPU describe the
+// converting host (the same machine that ran the benchmarks in the make
+// targets' pipelines), so committed baselines record how parallel the
+// measured runs actually were.
 type Report struct {
-	Goos    string   `json:"goos,omitempty"`
-	Goarch  string   `json:"goarch,omitempty"`
-	CPU     string   `json:"cpu,omitempty"`
-	Results []Result `json:"results"`
-	Ratio   *Ratio   `json:"ratio,omitempty"`
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	GoMaxProcs int      `json:"gomaxprocs"`
+	NumCPU     int      `json:"numcpu"`
+	Results    []Result `json:"results"`
+	Ratio      *Ratio   `json:"ratio,omitempty"`
 }
 
 func main() {
@@ -77,7 +83,11 @@ func main() {
 	flag.Parse()
 
 	var rawBuf strings.Builder
-	rep := Report{Results: []Result{}}
+	rep := Report{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Results:    []Result{},
+	}
 	pkg := ""
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)

@@ -3,22 +3,25 @@
 // floorplan-ready pipeline, and returns the generated design plus its
 // telemetry RunReport. Identical patterns are served from a
 // content-addressed LRU cache (byte-identical replay) and concurrent
-// identical requests collapse onto one synthesis; SIGTERM/SIGINT drain
-// in-flight requests before exit.
+// identical requests collapse onto one synthesis; structurally similar
+// patterns warm-start from the nearest cached design (the X-Nocd-Warm
+// response header reports cold vs seeded; -warm-threshold -1 disables);
+// SIGTERM/SIGINT drain in-flight requests before exit.
 //
 // Usage:
 //
-//	nocd [-addr :8080] [-cache-size 128] [-timeout 2m] [-maxdegree 5] [-maxprocs 4]
-//	     [-restarts 4] [-seed 1] [-workers 0] [-max-inflight 2] [-max-queue 64]
+//	nocd [-addr :8080] [-cache-size 128] [-timeout 2m] [-warm-threshold 0] [-maxdegree 5]
+//	     [-maxprocs 4] [-restarts 4] [-seed 1] [-workers 0] [-max-inflight 2] [-max-queue 64]
 //	     [-drain-timeout 10s]
 //
 // Endpoints:
 //
-//	POST /design      {"benchmark":"CG","procs":16}, {"benchmark":"ring-allreduce","procs":64},
-//	                  or {"trace":"noctrace v1\n..."}
-//	GET  /healthz     liveness probe
-//	GET  /metrics     server-lifetime RunReport JSON (serve.*, synth.*, coloring.* counters)
-//	GET  /benchmarks  the workload names: NAS benchmarks plus collectives
+//	POST /design        {"benchmark":"CG","procs":16}, {"benchmark":"ring-allreduce","procs":64},
+//	                    or {"trace":"noctrace v1\n..."}
+//	GET  /design/{key}  replay a cached design by its X-Nocd-Pattern-Hash key (404 if evicted)
+//	GET  /healthz       liveness probe
+//	GET  /metrics       server-lifetime RunReport JSON (serve.*, synth.*, coloring.* counters)
+//	GET  /benchmarks    the workload names: NAS benchmarks plus collectives
 package main
 
 import (
@@ -54,10 +57,11 @@ func main() {
 	flag.Parse()
 
 	srv := serve.New(serve.Config{
-		CacheSize:   shared.CacheSize,
-		MaxInFlight: *inflight,
-		MaxQueue:    *queue,
-		Timeout:     shared.Timeout,
+		CacheSize:     shared.CacheSize,
+		MaxInFlight:   *inflight,
+		MaxQueue:      *queue,
+		Timeout:       shared.Timeout,
+		WarmThreshold: shared.WarmThreshold,
 		Synth: synth.Options{
 			Constraints: synth.Constraints{MaxDegree: *maxDeg, MaxProcsPerSwitch: *maxProcs},
 			Seed:        shared.Seed,

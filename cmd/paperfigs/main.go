@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	paperfigs [-fig all|1|7a|7b|8a|8b|sens|color|ablation|skew] [-quick] [-workers 0] [-report run.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	paperfigs [-fig all|1|7a|7b|8a|8b|sens|color|ablation|multi|scale|warm|skew] [-quick] [-workers 0] [-report run.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
 import (
@@ -17,7 +17,7 @@ import (
 
 func main() {
 	var (
-		fig    = flag.String("fig", "all", "figure: all, 1, 7a, 7b, 8a, 8b, sens, color, ablation, multi, scale, skew")
+		fig    = flag.String("fig", "all", "figure: all, 1, 7a, 7b, 8a, 8b, sens, color, ablation, multi, scale, warm, skew")
 		quick  = flag.Bool("quick", false, "scaled-down workloads (faster)")
 		shared cliutil.Flags
 	)
@@ -134,6 +134,14 @@ func main() {
 			return err
 		}
 		fmt.Println(harness.RenderScaling("CG", rows))
+		return nil
+	})
+	run("warm", func() error {
+		rows, err := cfg.WarmStart("CG", 16)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.RenderWarmStart("CG", rows))
 		return nil
 	})
 	run("skew", func() error {

@@ -27,10 +27,12 @@ type Flags struct {
 	Report     string
 
 	// Server group (RegisterServe): the nocd daemon's listen address,
-	// design-cache capacity, and per-request synthesis budget.
-	Addr      string
-	CacheSize int
-	Timeout   time.Duration
+	// design-cache capacity, per-request synthesis budget, and warm-start
+	// distance threshold.
+	Addr          string
+	CacheSize     int
+	Timeout       time.Duration
+	WarmThreshold float64
 
 	collector *obs.Collector
 }
@@ -52,14 +54,17 @@ func (f *Flags) RegisterProfiles(fs *flag.FlagSet) {
 	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this file on exit")
 }
 
-// RegisterServe registers the server flag group: -addr, -cache-size, and
-// -timeout, with the same names, defaults, and help text for every daemon.
+// RegisterServe registers the server flag group: -addr, -cache-size,
+// -timeout, and -warm-threshold, with the same names, defaults, and help
+// text for every daemon.
 func (f *Flags) RegisterServe(fs *flag.FlagSet) {
 	fs.StringVar(&f.Addr, "addr", ":8080", "HTTP listen address")
 	fs.IntVar(&f.CacheSize, "cache-size", 128,
 		"designs held by the content-addressed LRU response cache")
 	fs.DurationVar(&f.Timeout, "timeout", 2*time.Minute,
 		"per-request synthesis budget (exceeded requests return 504)")
+	fs.Float64Var(&f.WarmThreshold, "warm-threshold", 0,
+		"structural-distance ceiling for warm-start seeding (0 = server default, negative disables)")
 }
 
 // RegisterReport registers -report.

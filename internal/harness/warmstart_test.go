@@ -1,0 +1,109 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/nas"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// TestWarmStartQualityFloor is the sweep's acceptance pin: every seeded
+// variant still meets constraints, stays contention-free, uses the seed, and
+// never costs more resources than the cold synthesis of the same trace.
+func TestWarmStartQualityFloor(t *testing.T) {
+	rows, err := Quick().WarmStart("CG", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("sweep produced no rows")
+	}
+	for _, r := range rows {
+		if !r.ConstraintsMet || !r.ContentionFree {
+			t.Errorf("%s: seeded design regressed verdicts: %+v", r.Variant, r)
+		}
+		if r.SeededRestarts == 0 {
+			t.Errorf("%s: no restart used the seed", r.Variant)
+		}
+		if r.WarmCost > r.ColdCost {
+			t.Errorf("%s: warm cost %d exceeds cold cost %d", r.Variant, r.WarmCost, r.ColdCost)
+		}
+		if r.Distance > 0 {
+			t.Errorf("%s: scaled variant should be structurally identical, distance %.3f", r.Variant, r.Distance)
+		}
+	}
+	out := RenderWarmStart("CG", rows)
+	if !strings.Contains(out, "bytes*2") || !strings.Contains(out, "iters*2") {
+		t.Errorf("render missing variants:\n%s", out)
+	}
+}
+
+// TestWarmStartSeededTheorem1 re-proves Theorem 1 (C ∩ R = ∅, recomputed
+// from raw routes) on a design synthesized through the seeded path — the
+// replay shortcut must not be taken on the paper's own correctness claim.
+func TestWarmStartSeededTheorem1(t *testing.T) {
+	c := Quick()
+	base, err := nas.Generate("CG", 16, c.nasConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseRes, err := synth.Synthesize(base, c.synthOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	varCfg := c.nasConfig()
+	varCfg.Iterations *= 2
+	varCfg.ByteScale *= 4
+	pat, err := nas.Generate("CG", 16, varCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd := synth.SeedFromDesign(baseRes.Net, baseRes.Table)
+	if sd == nil {
+		t.Fatal("base design yields no seed")
+	}
+	sd.ChangedProcs = trace.FingerprintPattern(pat).ChangedSegments(trace.FingerprintPattern(base))
+	opt := c.synthOptions()
+	opt.SeedDesign = sd
+	res, err := synth.Synthesize(pat, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SeededRestarts == 0 {
+		t.Fatal("seeded restart did not run")
+	}
+	verifyTheorem1(t, "CG-16 seeded variant", &Design{
+		Benchmark: "CG",
+		Procs:     16,
+		Pattern:   pat,
+		Result:    res,
+	})
+}
+
+// TestDeterminismWarmStartWorkers joins the worker-determinism family: the
+// sweep's rows carry only structural counters, so Workers must never change
+// them.
+func TestDeterminismWarmStartWorkers(t *testing.T) {
+	serial := Quick()
+	serial.Workers = 1
+	par := Quick()
+	par.Workers = 8
+	a, err := serial.WarmStart("CG", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := par.WarmStart("CG", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("row counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("row %d differs between Workers:1 and Workers:8\nserial:   %+v\nparallel: %+v", i, a[i], b[i])
+		}
+	}
+}

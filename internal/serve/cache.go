@@ -7,9 +7,13 @@ import (
 
 // entry is one cached design response: the exact bytes served for the key,
 // replayed verbatim on every hit so repeated requests are byte-identical.
+// warm records how the synthesis started ("cold" or "seeded"; empty when the
+// warm-start layer is disabled) and is surfaced as the X-Nocd-Warm header —
+// like the cache disposition, it is deliberately not part of the body.
 type entry struct {
 	key  string
 	body []byte
+	warm string
 }
 
 // lruCache is a bounded most-recently-used response cache. Both Get and Add
@@ -44,24 +48,30 @@ func (c *lruCache) Get(key string) (*entry, bool) {
 }
 
 // Add inserts (or refreshes) an entry, evicting from the cold end to stay
-// within capacity. A non-positive capacity disables caching entirely.
-func (c *lruCache) Add(e *entry) {
+// within capacity. A non-positive capacity disables caching entirely. It
+// reports whether the entry was stored and which keys were evicted to make
+// room, so secondary indexes (the warm-start fingerprint index) can stay in
+// lockstep with the cache's contents.
+func (c *lruCache) Add(e *entry) (evicted []string, stored bool) {
 	if c.cap <= 0 {
-		return
+		return nil, false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.m[e.key]; ok {
 		el.Value = e
 		c.ll.MoveToFront(el)
-		return
+		return nil, true
 	}
 	c.m[e.key] = c.ll.PushFront(e)
 	for c.ll.Len() > c.cap {
 		cold := c.ll.Back()
 		c.ll.Remove(cold)
-		delete(c.m, cold.Value.(*entry).key)
+		k := cold.Value.(*entry).key
+		delete(c.m, k)
+		evicted = append(evicted, k)
 	}
+	return evicted, true
 }
 
 // Len returns the number of cached entries.

@@ -57,6 +57,27 @@ func TestLRUCacheDisabled(t *testing.T) {
 	}
 }
 
+// TestLRUCacheAddReturns pins the Add contract secondary indexes rely on:
+// stored=false only when caching is disabled, refreshes evict nothing, and
+// overflow reports exactly the evicted keys.
+func TestLRUCacheAddReturns(t *testing.T) {
+	c := newLRUCache(2)
+	if evicted, stored := c.Add(ent("a")); !stored || len(evicted) != 0 {
+		t.Errorf("first Add: stored=%v evicted=%v, want true/none", stored, evicted)
+	}
+	if evicted, stored := c.Add(ent("a")); !stored || len(evicted) != 0 {
+		t.Errorf("refresh Add: stored=%v evicted=%v, want true/none", stored, evicted)
+	}
+	c.Add(ent("b"))
+	if evicted, stored := c.Add(ent("c")); !stored || len(evicted) != 1 || evicted[0] != "a" {
+		t.Errorf("overflow Add: stored=%v evicted=%v, want true/[a]", stored, evicted)
+	}
+	d := newLRUCache(0)
+	if evicted, stored := d.Add(ent("x")); stored || evicted != nil {
+		t.Errorf("disabled Add: stored=%v evicted=%v, want false/nil", stored, evicted)
+	}
+}
+
 func TestLRUCacheConcurrent(t *testing.T) {
 	c := newLRUCache(8)
 	done := make(chan struct{})

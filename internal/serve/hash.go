@@ -31,12 +31,17 @@ func Key(p *model.Pattern, opt synth.Options) string {
 // synthesized bytes. Workers is deliberately absent — the determinism
 // contract guarantees byte-identical designs for every worker count — and
 // Obs is telemetry, so requests differing only in those collapse onto one
-// cache entry. Fields are spelled out (not reflected) so adding an option
-// later forces a conscious decision about whether it belongs in the key.
+// cache entry. SeedDesign IS included (a warm start changes where the search
+// begins, hence the bytes); the server computes request keys before
+// injecting a seed, so warm-started responses are stored under the cold
+// request's key — see the warm-index determinism note in warm.go. Fields are
+// spelled out (not reflected) so adding an option later forces a conscious
+// decision about whether it belongs in the key.
 func OptionsFingerprint(opt synth.Options) string {
 	o := opt.Normalized()
-	return fmt.Sprintf("maxdeg=%d maxprocs=%d seed=%d restarts=%d anneal=%g/%g/%d nobestroute=%t noglobalrefine=%t greedycolor=%t maxrounds=%d",
+	return fmt.Sprintf("maxdeg=%d maxprocs=%d seed=%d restarts=%d anneal=%g/%g/%d nobestroute=%t noglobalrefine=%t greedycolor=%t maxrounds=%d seedfp=%s",
 		o.MaxDegree, o.MaxProcsPerSwitch, o.Seed, o.Restarts,
 		o.Anneal.InitialTemp, o.Anneal.Cooling, o.Anneal.Steps,
-		o.DisableBestRoute, o.DisableGlobalRefine, o.GreedyFinalColoring, o.MaxRounds)
+		o.DisableBestRoute, o.DisableGlobalRefine, o.GreedyFinalColoring, o.MaxRounds,
+		o.SeedDesign.Fingerprint())
 }

@@ -8,7 +8,11 @@
 // keyed by the pattern's canonical hash plus the fingerprint of the
 // output-affecting synthesis options (see Key), deduplicated in flight by a
 // singleflight layer, and replayed byte-for-byte from a bounded LRU on
-// repeat. Synthesis runs under a per-request context with reference-counted
+// repeat. A warm-start layer (warm.go) extends the cache across *similar*
+// requests: exact-key misses consult a structural-fingerprint index of the
+// cached designs, and a near-enough neighbor seeds the synthesis instead of
+// a cold start (X-Nocd-Warm reports which). Synthesis runs under a
+// per-request context with reference-counted
 // cancellation — a dropped client aborts the work promptly unless another
 // request is still waiting on the same key — behind an admission gate
 // bounding concurrent syntheses and queue depth. Everything is observed
@@ -79,6 +83,12 @@ type Config struct {
 	// Collective supplies pattern-generation defaults for collective
 	// workload requests (names resolved after the NAS registry).
 	Collective collective.Config
+	// WarmThreshold is the structural-distance ceiling for warm-start
+	// seeding: on an exact-key cache miss, the structurally nearest cached
+	// design within this distance seeds the synthesis instead of a cold
+	// start (X-Nocd-Warm reports which happened). 0 selects
+	// DefaultWarmThreshold; negative disables warm starts.
+	WarmThreshold float64
 }
 
 // Normalized returns the configuration with every zero field replaced by
@@ -152,6 +162,7 @@ type Server struct {
 	cfg     Config
 	col     *obs.Collector
 	cache   *lruCache
+	warm    *warmIndex
 	flights *flightGroup
 	mux     *http.ServeMux
 	sem     chan struct{}
@@ -165,11 +176,13 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		col:     obs.NewCollector(),
 		cache:   newLRUCache(cfg.CacheSize),
+		warm:    newWarmIndex(cfg.WarmThreshold),
 		flights: newFlightGroup(),
 		mux:     http.NewServeMux(),
 		sem:     make(chan struct{}, cfg.MaxInFlight),
 	}
 	s.mux.HandleFunc("POST /design", s.handleDesign)
+	s.mux.HandleFunc("GET /design/{key}", s.handleGetDesign)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /benchmarks", s.handleBenchmarks)
@@ -411,6 +424,27 @@ func (s *Server) synthesize(runCtx context.Context, key string, pat *model.Patte
 		defer cancel()
 	}
 	opt.Obs = obs.Tee(s.col, reqCol, s.cfg.Synth.Obs)
+
+	// Warm-start: on this exact-key miss, seed from the structurally nearest
+	// cached design when one is close enough. The key was computed from the
+	// request's own options (no seed), so the response is stored and replayed
+	// under the cold identity — see warm.go for the determinism contract.
+	warmHow := ""
+	var fp *trace.Fingerprint
+	if s.warm != nil {
+		fp = trace.FingerprintPattern(pat)
+		warmHow = "cold"
+		if ne, _, ok := s.warm.nearest(fp); ok {
+			sd := *ne.seed
+			sd.ChangedProcs = fp.ChangedSegments(ne.fp)
+			opt.SeedDesign = &sd
+			warmHow = "seeded"
+			obs.Count(s.col, "serve.warm_seeded", 1)
+		} else {
+			obs.Count(s.col, "serve.warm_cold", 1)
+		}
+	}
+
 	res, err := synth.SynthesizeContext(ctx, pat, opt)
 	if err != nil {
 		if ctx.Err() != nil {
@@ -444,10 +478,34 @@ func (s *Server) synthesize(runCtx context.Context, key string, pat *model.Patte
 	if err != nil {
 		return nil, fmt.Errorf("serve: rendering response: %w", err)
 	}
-	ent := &entry{key: key, body: append(body, '\n')}
-	s.cache.Add(ent)
-	obs.Count(s.col, "serve.cache_store", 1)
+	ent := &entry{key: key, body: append(body, '\n'), warm: warmHow}
+	evicted, stored := s.cache.Add(ent)
+	s.warm.remove(evicted...)
+	if stored {
+		obs.Count(s.col, "serve.cache_store", 1)
+		if fp != nil {
+			if seed := synth.SeedFromDesign(res.Net, res.Table); seed != nil {
+				s.warm.add(key, fp, seed)
+				obs.Count(s.col, "serve.warm_store", 1)
+			}
+		}
+	}
 	return ent, nil
+}
+
+// handleGetDesign replays a cached design by its content-addressed key —
+// the X-Nocd-Pattern-Hash every /design response carries. Bytes are
+// identical to the original response; a key the cache no longer holds (or
+// never held) is a plain 404, since entries are evictable by design.
+func (s *Server) handleGetDesign(w http.ResponseWriter, r *http.Request) {
+	obs.Count(s.col, "serve.design_fetch", 1)
+	ent, ok := s.cache.Get(r.PathValue("key"))
+	if !ok {
+		obs.Count(s.col, "serve.design_fetch_miss", 1)
+		http.Error(w, "design not cached", http.StatusNotFound)
+		return
+	}
+	writeEntry(w, ent, "hit")
 }
 
 func writeEntry(w http.ResponseWriter, ent *entry, how string) {
@@ -455,6 +513,9 @@ func writeEntry(w http.ResponseWriter, ent *entry, how string) {
 	h.Set("Content-Type", "application/json")
 	h.Set("X-Nocd-Cache", how)
 	h.Set("X-Nocd-Pattern-Hash", ent.key)
+	if ent.warm != "" {
+		h.Set("X-Nocd-Warm", ent.warm)
+	}
 	w.Write(ent.body)
 }
 

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/model"
 	"repro/internal/nas"
+	"repro/internal/trace"
 )
 
 func BenchmarkSynthesizeFigure1(b *testing.B) {
@@ -30,6 +32,84 @@ func BenchmarkSynthesizeCG16(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := Synthesize(pat, Options{Seed: 1, Restarts: 1}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// warmSweepVariants are the warm-start sweep cells: the same NAS app (CG-16)
+// at varied payload and compute scales — the "many similar traces" shape the
+// warm-start path exists for. Shared by the Cold/Seeded benchmark pair so the
+// benchjson ratio compares identical work.
+func warmSweepVariants(b *testing.B) []*model.Pattern {
+	b.Helper()
+	var pats []*model.Pattern
+	for _, cfg := range []nas.Config{
+		{Iterations: 1, ByteScale: 0.5},
+		{Iterations: 1, ByteScale: 2},
+		{Iterations: 1, ComputeScale: 0.5},
+		{Iterations: 1, ComputeScale: 2},
+		{Iterations: 2, ByteScale: 4},
+	} {
+		pat, err := nas.Generate("CG", 16, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pats = append(pats, pat)
+	}
+	return pats
+}
+
+// BenchmarkWarmStartSweepCold is the denominator-side of the bench-warm
+// gate: every sweep cell pays the full cold restart loop.
+func BenchmarkWarmStartSweepCold(b *testing.B) {
+	pats := warmSweepVariants(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, pat := range pats {
+			res, err := Synthesize(pat, Options{Seed: 1, Restarts: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.ConstraintsMet {
+				b.Fatal("constraints unmet")
+			}
+		}
+	}
+}
+
+// BenchmarkWarmStartSweepSeeded is the numerator side: one cold base run
+// outside the timer supplies the seed; each cell then pays fingerprinting,
+// the segment diff, and the seeded replay/refine path — everything a warm
+// server request pays after the nearest-design lookup. `make bench-warm`
+// gates Cold:Seeded at >= 5x.
+func BenchmarkWarmStartSweepSeeded(b *testing.B) {
+	pats := warmSweepVariants(b)
+	base, err := nas.Generate("CG", 16, nas.Config{Iterations: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	baseRes, err := Synthesize(base, Options{Seed: 1, Restarts: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	seed := SeedFromDesign(baseRes.Net, baseRes.Table)
+	baseFP := trace.FingerprintPattern(base)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, pat := range pats {
+			fp := trace.FingerprintPattern(pat)
+			sd := *seed
+			sd.ChangedProcs = fp.ChangedSegments(baseFP)
+			res, err := Synthesize(pat, Options{Seed: 1, Restarts: 1, SeedDesign: &sd})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.ConstraintsMet {
+				b.Fatal("constraints unmet")
+			}
+			if res.Stats.SeededRestarts == 0 {
+				b.Fatal("seeded restart did not run")
+			}
 		}
 	}
 }

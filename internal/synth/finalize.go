@@ -277,7 +277,16 @@ func SynthesizeContext(ctx context.Context, p *model.Pattern, opt Options) (*Res
 			// published by the in-order fold below, so speculative
 			// extension restarts never leak into the counters.
 			rsp := obs.Span(opt.Obs, "synth.restart")
-			res, err := synthesizeOnce(ctx, p, cliques, opt, opt.Seed+int64(from+i)*7919)
+			// Seeded-ness is a pure function of the restart index: the
+			// configured restarts replay the seed, extension restarts
+			// (index >= Restarts, drawn only while constraints are
+			// unmet) start cold. That keeps the fold byte-deterministic
+			// for every worker count and makes cold fallback automatic.
+			sd := opt.SeedDesign
+			if from+i >= opt.Restarts {
+				sd = nil
+			}
+			res, err := synthesizeOnce(ctx, p, cliques, opt, sd, opt.Seed+int64(from+i)*7919)
 			rsp.End()
 			return runOut{res: res, err: err}, nil
 		})
@@ -341,6 +350,7 @@ func emitSynthObs(o obs.Observer, totals Stats, best *Result) {
 	}
 	obs.Count(o, "synth.runs", 1)
 	obs.Count(o, "synth.restarts_run", int64(totals.RestartsRun))
+	obs.Count(o, "synth.seeded_restarts", int64(totals.SeededRestarts))
 	obs.Count(o, "synth.splits", int64(totals.Splits))
 	obs.Count(o, "synth.moves_evaluated", int64(totals.MovesEvaluated))
 	obs.Count(o, "synth.moves_committed", int64(totals.MovesCommitted))
@@ -392,10 +402,13 @@ func totalHops(t *routing.Table) int {
 	return h
 }
 
-func synthesizeOnce(ctx context.Context, p *model.Pattern, cliques []model.Clique, opt Options, seed int64) (*Result, error) {
+func synthesizeOnce(ctx context.Context, p *model.Pattern, cliques []model.Clique, opt Options, sd *SeedDesign, seed int64) (*Result, error) {
 	stats := &Stats{}
 	s := newState(p, cliques, opt, seed, stats)
 	s.ctx = ctx
+	if s.applySeed(sd) {
+		stats.SeededRestarts++
+	}
 	var (
 		net     *topology.Network
 		table   *routing.Table

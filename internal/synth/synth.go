@@ -74,6 +74,14 @@ type Options struct {
 	GreedyFinalColoring bool
 	// MaxRounds bounds the outer partition-finalize loop (default 16).
 	MaxRounds int
+	// SeedDesign, when non-nil, warm-starts the configured restarts from a
+	// prior design's switch tree instead of the root megaswitch (see
+	// SeedDesign). Extension restarts — the ones drawn only while no run
+	// has met the constraints — always start cold, so a bad seed degrades
+	// nothing but speed. Whether a restart is seeded depends only on its
+	// index, so best-of selection stays byte-deterministic across worker
+	// counts.
+	SeedDesign *SeedDesign
 	// Obs receives telemetry: per-restart spans plus the synth.* and
 	// coloring.* counters, emitted once from the deterministic restart
 	// fold so counter values are identical for every Workers setting.
@@ -117,7 +125,10 @@ type Stats struct {
 	GlobalMoves   int
 	Rounds        int
 	RestartsRun   int
-	Repairs       int
+	// SeededRestarts counts the restarts that replayed a SeedDesign switch
+	// tree instead of bisecting from the megaswitch.
+	SeededRestarts int
+	Repairs        int
 	// MaxDepth is the deepest bisection level any switch reached (the
 	// root megaswitch is level 0; each split puts the new half one level
 	// below the switch it came from).
@@ -140,6 +151,7 @@ func (s *Stats) add(t Stats) {
 	s.Reroutes += t.Reroutes
 	s.GlobalMoves += t.GlobalMoves
 	s.Rounds += t.Rounds
+	s.SeededRestarts += t.SeededRestarts
 	s.Repairs += t.Repairs
 	if t.MaxDepth > s.MaxDepth {
 		s.MaxDepth = t.MaxDepth
@@ -189,6 +201,12 @@ type state struct {
 	rng       *rand.Rand
 	opt       Options
 	stats     *Stats
+	// seedFast marks a warm-started state whose trace structure is
+	// identical to its seed's and whose replay left no estimated
+	// violations: partition() skips the globalRefine polish once (the
+	// assignment is already a refined fixpoint; only routing needed
+	// recovery). Cleared on use so later rounds refine normally.
+	seedFast bool
 	// ctx, when non-nil, is polled at bisection boundaries so a cancelled
 	// request abandons the partitioning loop promptly. The checks read
 	// ctx.Err() only — they never touch the RNG or iteration order, so a
@@ -657,6 +675,10 @@ func (s *state) partition() bool {
 			}
 		}
 		if !anyViolation {
+			if s.seedFast {
+				s.seedFast = false
+				return true
+			}
 			s.globalRefine()
 			return true
 		}
