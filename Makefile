@@ -4,7 +4,7 @@
 # reduction cannot pass by luck.
 GO ?= go
 
-.PHONY: verify vet build test race determinism cover-serve cover-collective bench bench-synth bench-obs bench-flitsim bench-warm bench-all fuzz
+.PHONY: verify vet build test race determinism fleet cover-serve cover-collective bench bench-synth bench-obs bench-flitsim bench-warm bench-all fuzz
 
 verify: vet build race determinism
 
@@ -22,6 +22,13 @@ race:
 
 determinism:
 	$(GO) test -run TestDeterminism -count=2 ./...
+
+# fleet is the design-fleet gate: the multi-replica e2e suite (consistent-
+# hash sharding, forwarding, owner-down fallback, loop protection), the
+# disk-store crash-safety suite, and the batch/lane/v1-surface tests, all
+# under the race detector.
+fleet:
+	$(GO) test -race -count=1 -run 'TestFleet|TestPeerRing|TestDiskStore|TestBatch|TestBulk|TestV1|TestErrorEnvelope|TestLane|TestMemStore' ./internal/serve/
 
 # cover-serve is the server coverage gate: the design server's e2e suite
 # (plus the synth cancellation tests it depends on) must keep internal/serve

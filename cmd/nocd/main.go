@@ -1,27 +1,35 @@
 // Command nocd is the design server: a long-running daemon that accepts
 // communication patterns over HTTP/JSON, runs the full synthesize → color →
 // floorplan-ready pipeline, and returns the generated design plus its
-// telemetry RunReport. Identical patterns are served from a
-// content-addressed LRU cache (byte-identical replay) and concurrent
+// telemetry RunReport. Identical patterns are served from a layered design
+// store — an in-memory LRU in front of an optional persistent disk store
+// (-data-dir; byte-identical replay, survives restarts) — and concurrent
 // identical requests collapse onto one synthesis; structurally similar
 // patterns warm-start from the nearest cached design (the X-Nocd-Warm
-// response header reports cold vs seeded; -warm-threshold -1 disables);
-// SIGTERM/SIGINT drain in-flight requests before exit.
+// response header reports cold vs seeded; -warm-threshold -1 disables).
+// With -peers, replicas shard the key space by consistent hashing and
+// forward each request to its owning replica, so a fleet behaves like one
+// big cache. SIGTERM/SIGINT drain in-flight requests before exit.
 //
 // Usage:
 //
-//	nocd [-addr :8080] [-cache-size 128] [-timeout 2m] [-warm-threshold 0] [-maxdegree 5]
+//	nocd [-addr :8080] [-cache-size 128] [-timeout 2m] [-warm-threshold 0] [-data-dir DIR]
+//	     [-self URL] [-peers URL,URL,...] [-bulk-max-inflight 1] [-maxdegree 5]
 //	     [-maxprocs 4] [-restarts 4] [-seed 1] [-workers 0] [-max-inflight 2] [-max-queue 64]
 //	     [-drain-timeout 10s]
 //
-// Endpoints:
+// Endpoints (versioned under /v1/; the unversioned paths remain as aliases
+// for one release):
 //
-//	POST /design        {"benchmark":"CG","procs":16}, {"benchmark":"ring-allreduce","procs":64},
-//	                    or {"trace":"noctrace v1\n..."}
-//	GET  /design/{key}  replay a cached design by its X-Nocd-Pattern-Hash key (404 if evicted)
-//	GET  /healthz       liveness probe
-//	GET  /metrics       server-lifetime RunReport JSON (serve.*, synth.*, coloring.* counters)
-//	GET  /benchmarks    the workload names: NAS benchmarks plus collectives
+//	POST /v1/design        {"benchmark":"CG","procs":16}, {"benchmark":"ring-allreduce","procs":64},
+//	                       or {"trace":"noctrace v1\n..."}; optional "lane":"bulk"
+//	POST /v1/designs       JSON array of design requests → NDJSON rows in completion order
+//	GET  /v1/design/{key}  replay a cached design by its X-Nocd-Pattern-Hash key (404 if evicted)
+//	GET  /v1/healthz       liveness probe
+//	GET  /v1/metrics       server-lifetime RunReport JSON (serve.*, synth.*, coloring.* counters)
+//	GET  /v1/benchmarks    the workload names: NAS benchmarks plus collectives
+//
+// All error statuses return a JSON envelope {"error":{"code","message"}}.
 package main
 
 import (
@@ -56,12 +64,16 @@ func main() {
 	shared.RegisterServe(flag.CommandLine)
 	flag.Parse()
 
-	srv := serve.New(serve.Config{
-		CacheSize:     shared.CacheSize,
-		MaxInFlight:   *inflight,
-		MaxQueue:      *queue,
-		Timeout:       shared.Timeout,
-		WarmThreshold: shared.WarmThreshold,
+	srv, err := serve.New(serve.Config{
+		CacheSize:       shared.CacheSize,
+		DataDir:         shared.DataDir,
+		Self:            shared.Self,
+		Peers:           shared.PeerList(),
+		MaxInFlight:     *inflight,
+		MaxQueue:        *queue,
+		BulkMaxInFlight: shared.BulkMaxInflight,
+		Timeout:         shared.Timeout,
+		WarmThreshold:   shared.WarmThreshold,
 		Synth: synth.Options{
 			Constraints: synth.Constraints{MaxDegree: *maxDeg, MaxProcsPerSwitch: *maxProcs},
 			Seed:        shared.Seed,
@@ -69,6 +81,9 @@ func main() {
 			Workers:     shared.Workers,
 		},
 	})
+	if err != nil {
+		fatal(err)
+	}
 	ln, err := net.Listen("tcp", shared.Addr)
 	if err != nil {
 		fatal(err)

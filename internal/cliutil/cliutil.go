@@ -12,6 +12,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"repro/internal/obs"
@@ -27,12 +28,17 @@ type Flags struct {
 	Report     string
 
 	// Server group (RegisterServe): the nocd daemon's listen address,
-	// design-cache capacity, per-request synthesis budget, and warm-start
-	// distance threshold.
-	Addr          string
-	CacheSize     int
-	Timeout       time.Duration
-	WarmThreshold float64
+	// design-cache capacity, per-request synthesis budget, warm-start
+	// distance threshold, persistent store directory, fleet membership,
+	// and bulk-lane watermark.
+	Addr            string
+	CacheSize       int
+	Timeout         time.Duration
+	WarmThreshold   float64
+	DataDir         string
+	Self            string
+	Peers           string
+	BulkMaxInflight int
 
 	collector *obs.Collector
 }
@@ -55,8 +61,9 @@ func (f *Flags) RegisterProfiles(fs *flag.FlagSet) {
 }
 
 // RegisterServe registers the server flag group: -addr, -cache-size,
-// -timeout, and -warm-threshold, with the same names, defaults, and help
-// text for every daemon.
+// -timeout, -warm-threshold, -data-dir, -self, -peers, and
+// -bulk-max-inflight, with the same names, defaults, and help text for
+// every daemon.
 func (f *Flags) RegisterServe(fs *flag.FlagSet) {
 	fs.StringVar(&f.Addr, "addr", ":8080", "HTTP listen address")
 	fs.IntVar(&f.CacheSize, "cache-size", 128,
@@ -65,6 +72,26 @@ func (f *Flags) RegisterServe(fs *flag.FlagSet) {
 		"per-request synthesis budget (exceeded requests return 504)")
 	fs.Float64Var(&f.WarmThreshold, "warm-threshold", 0,
 		"structural-distance ceiling for warm-start seeding (0 = server default, negative disables)")
+	fs.StringVar(&f.DataDir, "data-dir", "",
+		"directory for the persistent design store (empty = memory only)")
+	fs.StringVar(&f.Self, "self", "",
+		"this replica's own base URL as listed in -peers")
+	fs.StringVar(&f.Peers, "peers", "",
+		"comma-separated fleet member base URLs; enables consistent-hash sharding")
+	fs.IntVar(&f.BulkMaxInflight, "bulk-max-inflight", 1,
+		"bulk-lane synthesis watermark (lane=bulk beyond it returns 429; negative disables the lane)")
+}
+
+// PeerList splits the -peers value into member URLs, dropping empty
+// segments, so `-peers ""` and a trailing comma both behave.
+func (f *Flags) PeerList() []string {
+	var urls []string
+	for _, p := range strings.Split(f.Peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			urls = append(urls, p)
+		}
+	}
+	return urls
 }
 
 // RegisterReport registers -report.

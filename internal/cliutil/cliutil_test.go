@@ -3,6 +3,7 @@ package cliutil
 import (
 	"flag"
 	"path/filepath"
+	"reflect"
 	"testing"
 	"time"
 
@@ -34,15 +35,33 @@ func TestRegisterServe(t *testing.T) {
 	if f.Addr != ":8080" || f.CacheSize != 128 || f.Timeout != 2*time.Minute {
 		t.Errorf("defaults = %q/%d/%s, want :8080/128/2m", f.Addr, f.CacheSize, f.Timeout)
 	}
+	if f.DataDir != "" || f.Self != "" || f.Peers != "" || f.BulkMaxInflight != 1 {
+		t.Errorf("fleet defaults = %q/%q/%q/%d, want \"\"/\"\"/\"\"/1",
+			f.DataDir, f.Self, f.Peers, f.BulkMaxInflight)
+	}
+	if got := f.PeerList(); got != nil {
+		t.Errorf("PeerList() with no -peers = %v, want nil", got)
+	}
 
 	var g Flags
 	fs = flag.NewFlagSet("t", flag.ContinueOnError)
 	g.RegisterServe(fs)
-	if err := fs.Parse([]string{"-addr", "127.0.0.1:0", "-cache-size", "7", "-timeout", "3s"}); err != nil {
+	if err := fs.Parse([]string{
+		"-addr", "127.0.0.1:0", "-cache-size", "7", "-timeout", "3s",
+		"-data-dir", "/tmp/designs", "-self", "http://a:1",
+		"-peers", "http://a:1, http://b:2,,http://c:3,", "-bulk-max-inflight", "4",
+	}); err != nil {
 		t.Fatal(err)
 	}
 	if g.Addr != "127.0.0.1:0" || g.CacheSize != 7 || g.Timeout != 3*time.Second {
 		t.Errorf("parsed = %q/%d/%s, want 127.0.0.1:0/7/3s", g.Addr, g.CacheSize, g.Timeout)
+	}
+	if g.DataDir != "/tmp/designs" || g.Self != "http://a:1" || g.BulkMaxInflight != 4 {
+		t.Errorf("fleet parsed = %q/%q/%d, want /tmp/designs, http://a:1, 4", g.DataDir, g.Self, g.BulkMaxInflight)
+	}
+	want := []string{"http://a:1", "http://b:2", "http://c:3"}
+	if got := g.PeerList(); !reflect.DeepEqual(got, want) {
+		t.Errorf("PeerList() = %v, want %v (whitespace and empties dropped)", got, want)
 	}
 }
 

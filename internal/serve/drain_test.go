@@ -17,7 +17,7 @@ func TestServeDrainsInFlight(t *testing.T) {
 	gate := newGate()
 	cfg := quickConfig()
 	cfg.Synth.Obs = gate
-	srv := New(cfg)
+	srv := newTestServer(t, cfg)
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -88,7 +88,7 @@ func TestServeDrainTimeout(t *testing.T) {
 	gate := newGate()
 	cfg := quickConfig()
 	cfg.Synth.Obs = gate
-	srv := New(cfg)
+	srv := newTestServer(t, cfg)
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

@@ -7,19 +7,26 @@
 // exactly the workload a content-addressed cache exploits: requests are
 // keyed by the pattern's canonical hash plus the fingerprint of the
 // output-affecting synthesis options (see Key), deduplicated in flight by a
-// singleflight layer, and replayed byte-for-byte from a bounded LRU on
-// repeat. A warm-start layer (warm.go) extends the cache across *similar*
-// requests: exact-key misses consult a structural-fingerprint index of the
-// cached designs, and a near-enough neighbor seeds the synthesis instead of
-// a cold start (X-Nocd-Warm reports which). Synthesis runs under a
-// per-request context with reference-counted
+// singleflight layer, and replayed byte-for-byte on repeat from a layered
+// design store (store.go): a bounded in-memory LRU in front of an optional
+// persistent content-addressed disk store (diskstore.go) that survives
+// restarts, with consistent-hash peer sharding (peers.go) forwarding each
+// key to its owning replica so a fleet behaves like one big cache. A
+// warm-start layer (warm.go) extends the cache across *similar* requests:
+// exact-key misses consult a structural-fingerprint index of the cached
+// designs — rebuilt from disk on startup — and a near-enough neighbor seeds
+// the synthesis instead of a cold start (X-Nocd-Warm reports which).
+// Synthesis runs under a per-request context with reference-counted
 // cancellation — a dropped client aborts the work promptly unless another
 // request is still waiting on the same key — behind an admission gate
-// bounding concurrent syntheses and queue depth. Everything is observed
-// through internal/obs: serve.* counters plus the synth.*/coloring.*
-// counters of the work itself land in the server-lifetime Collector exposed
-// at /metrics, while each synthesis also feeds the per-request Collector
-// embedded in its response.
+// bounding concurrent syntheses and queue depth, with a separate bulk lane
+// watermark so sweeps cannot starve interactive traffic. The HTTP surface
+// is versioned under /v1/ (api.go; the unversioned paths are aliases), with
+// POST /v1/designs batching N requests into a completion-ordered NDJSON
+// stream. Everything is observed through internal/obs: serve.* counters
+// plus the synth.*/coloring.* counters of the work itself land in the
+// server-lifetime Collector exposed at /v1/metrics, while each synthesis
+// also feeds the per-request Collector embedded in its response.
 package serve
 
 import (
@@ -28,6 +35,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"strings"
@@ -42,8 +50,8 @@ import (
 	"repro/internal/trace"
 )
 
-// ResponseSchema identifies the /design response artifact; ResponseVersion
-// is bumped on any breaking change to its fields.
+// ResponseSchema identifies the /v1/design response artifact;
+// ResponseVersion is bumped on any breaking change to its fields.
 const (
 	ResponseSchema  = "nocd.design"
 	ResponseVersion = 1
@@ -54,22 +62,44 @@ const (
 // it keeps handler accounting honest.
 const StatusClientClosedRequest = 499
 
-// maxRequestBytes bounds the /design request body; inline traces above it
-// are rejected with 413.
+// maxRequestBytes bounds request bodies; inline traces (or batches) above
+// it are rejected with 400.
 const maxRequestBytes = 16 << 20
+
+// Lane names for DesignRequest.Lane.
+const (
+	LaneInteractive = "interactive"
+	LaneBulk        = "bulk"
+)
 
 // Config tunes a Server. The zero value is serviceable: defaults are
 // resolved by Normalized.
 type Config struct {
-	// CacheSize bounds the LRU design cache, in entries (default 128;
-	// negative disables caching).
+	// CacheSize bounds the in-memory LRU design store, in entries (default
+	// 128; negative disables the memory layer).
 	CacheSize int
+	// DataDir roots the persistent content-addressed disk store: one
+	// fsync'd file per key, scanned on startup to rebuild the warm-start
+	// index, so designs outlive the process. Empty disables the layer.
+	DataDir string
+	// Self is this replica's own base URL as it appears in Peers.
+	Self string
+	// Peers is the full fleet membership (base URLs, every replica listed
+	// identically on every member). Non-empty enables consistent-hash
+	// sharding: each request key has one owning replica, and non-owners
+	// forward to it. SetPeers reconfigures both at runtime.
+	Peers []string
 	// MaxInFlight bounds concurrently executing syntheses (default 2).
 	MaxInFlight int
 	// MaxQueue bounds syntheses waiting for an execution slot; beyond it
 	// requests fail fast with 503 (default 64; negative refuses all
 	// queueing).
 	MaxQueue int
+	// BulkMaxInFlight is the bulk-lane watermark: at most this many
+	// lane=bulk syntheses execute at once, and a bulk request arriving at
+	// the watermark fails fast with 429 instead of queueing ahead of
+	// interactive traffic (default 1; negative rejects all bulk work).
+	BulkMaxInFlight int
 	// Timeout is the per-synthesis budget; an expired budget returns 504
 	// (default 2m; negative disables the budget).
 	Timeout time.Duration
@@ -103,14 +133,18 @@ func (c Config) Normalized() Config {
 	if c.MaxQueue == 0 {
 		c.MaxQueue = 64
 	}
+	if c.BulkMaxInFlight == 0 {
+		c.BulkMaxInFlight = 1
+	}
 	if c.Timeout == 0 {
 		c.Timeout = 2 * time.Minute
 	}
 	return c
 }
 
-// DesignRequest is the /design request body. Exactly one pattern source —
-// Benchmark (with Procs) or Trace — must be set.
+// DesignRequest is the /v1/design request body (and one /v1/designs batch
+// item). Exactly one pattern source — Benchmark (with Procs) or Trace —
+// must be set.
 type DesignRequest struct {
 	// Benchmark names a workload: a NAS benchmark (BT, CG, FFT, MG, SP)
 	// or a collective (ring-allreduce, reduce-scatter, all-gather,
@@ -123,6 +157,12 @@ type DesignRequest struct {
 	Iterations int `json:"iterations,omitempty"`
 	// Trace is an inline noctrace v1 document.
 	Trace string `json:"trace,omitempty"`
+	// Lane selects the admission lane: "interactive" (the default) or
+	// "bulk". Bulk syntheses execute only below the BulkMaxInFlight
+	// watermark — beyond it they fail fast with 429 — so sweeps cannot
+	// starve interactive traffic. The lane never affects the synthesized
+	// bytes and is excluded from the cache key.
+	Lane string `json:"lane,omitempty"`
 
 	// Synthesis overrides; zero keeps the server default.
 	Seed      int64 `json:"seed,omitempty"`
@@ -131,8 +171,8 @@ type DesignRequest struct {
 	Restarts  int   `json:"restarts,omitempty"`
 }
 
-// DesignResponse is the /design response body. Cached requests replay the
-// exact bytes of the first response, so everything here — including the
+// DesignResponse is the /v1/design response body. Cached requests replay
+// the exact bytes of the first response, so everything here — including the
 // embedded RunReport's wall-clock spans — describes the synthesis that
 // actually ran, not the request that fetched it; whether this copy came
 // from the cache is in the X-Nocd-Cache header, which is deliberately NOT
@@ -157,40 +197,95 @@ type DesignResponse struct {
 // MaxQueue more are already waiting.
 var errQueueFull = errors.New("serve: synthesis queue full")
 
+// errBulkSaturated rejects bulk-lane work at the BulkMaxInFlight watermark.
+var errBulkSaturated = errors.New("serve: bulk lane at its inflight watermark")
+
 // Server is the nocd HTTP handler. Create with New.
 type Server struct {
 	cfg     Config
 	col     *obs.Collector
-	cache   *lruCache
+	mem     *memStore
+	disk    *diskStore // nil without Config.DataDir
 	warm    *warmIndex
 	flights *flightGroup
 	mux     *http.ServeMux
 	sem     chan struct{}
+	bulkSem chan struct{} // nil when the bulk lane is disabled
 	queued  atomic.Int64
+	ring    atomic.Pointer[peerRing]
+	client  *http.Client
 }
 
-// New builds a Server from the configuration.
-func New(cfg Config) *Server {
+// New builds a Server from the configuration. With a DataDir it opens and
+// scans the persistent store — rebuilding the warm-start index from the
+// surviving designs — so a scan failure (an unusable directory) fails
+// construction rather than silently serving without durability.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.Normalized()
 	s := &Server{
 		cfg:     cfg,
 		col:     obs.NewCollector(),
-		cache:   newLRUCache(cfg.CacheSize),
+		mem:     newMemStore(cfg.CacheSize),
 		warm:    newWarmIndex(cfg.WarmThreshold),
 		flights: newFlightGroup(),
 		mux:     http.NewServeMux(),
 		sem:     make(chan struct{}, cfg.MaxInFlight),
+		client:  &http.Client{},
 	}
-	s.mux.HandleFunc("POST /design", s.handleDesign)
-	s.mux.HandleFunc("GET /design/{key}", s.handleGetDesign)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /benchmarks", s.handleBenchmarks)
-	return s
+	if cfg.BulkMaxInFlight > 0 {
+		s.bulkSem = make(chan struct{}, cfg.BulkMaxInFlight)
+	}
+	if cfg.DataDir != "" {
+		disk, entries, err := openDiskStore(cfg.DataDir, s.col)
+		if err != nil {
+			return nil, err
+		}
+		s.disk = disk
+		s.rebuildWarm(entries)
+	}
+	s.SetPeers(cfg.Self, cfg.Peers)
+
+	// The canonical surface lives under /v1/; the unversioned paths stay
+	// registered as byte-identical aliases for one release.
+	for _, prefix := range []string{"/" + APIVersion, ""} {
+		s.mux.HandleFunc("POST "+prefix+"/design", s.handleDesign)
+		s.mux.HandleFunc("POST "+prefix+"/designs", s.handleBatch)
+		s.mux.HandleFunc("GET "+prefix+"/design/{key}", s.handleGetDesign)
+		s.mux.HandleFunc("GET "+prefix+"/healthz", s.handleHealthz)
+		s.mux.HandleFunc("GET "+prefix+"/metrics", s.handleMetrics)
+		s.mux.HandleFunc("GET "+prefix+"/benchmarks", s.handleBenchmarks)
+	}
+	return s, nil
 }
 
-// Metrics exposes the server-lifetime Collector (the /metrics source) for
-// embedders and tests.
+// rebuildWarm re-derives the warm-start index from the disk store's
+// surviving entries: each persisted fingerprint plus the seed extracted
+// from its design, so warm starts work from the first post-restart request.
+func (s *Server) rebuildWarm(entries []*Entry) {
+	if s.warm == nil {
+		return
+	}
+	for _, ent := range entries {
+		if ent.Fp == nil {
+			continue
+		}
+		var dr DesignResponse
+		if json.Unmarshal(ent.Body, &dr) != nil {
+			continue
+		}
+		net, table, err := synth.LoadDesign(bytes.NewReader(dr.Design))
+		if err != nil {
+			continue
+		}
+		if seed := synth.SeedFromDesign(net, table); seed != nil {
+			s.warm.add(ent.Key, ent.Fp, seed)
+			obs.Count(s.col, "serve.warm_rebuilt", 1)
+		}
+	}
+}
+
+// Metrics exposes the server-lifetime Collector (the /v1/metrics source)
+// for embedders and tests.
 func (s *Server) Metrics() *obs.Collector { return s.col }
 
 // ServeHTTP implements http.Handler.
@@ -215,52 +310,157 @@ func (s *Server) handleBenchmarks(w http.ResponseWriter, _ *http.Request) {
 	json.NewEncoder(w).Encode(append(nas.Names(), collective.Names()...))
 }
 
+// readBody drains a bounded request body.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	b, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err != nil {
+		return nil, badRequest("reading request body: %v", err)
+	}
+	return b, nil
+}
+
 func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
 	obs.Count(s.col, "serve.requests", 1)
 	sp := obs.Span(s.col, "serve.request")
 	defer sp.End()
 
-	pat, opt, err := s.parseDesignRequest(r)
+	raw, err := readBody(w, r)
 	if err != nil {
-		s.clientError(w, err)
+		obs.Count(s.col, "serve.bad_requests", 1)
+		s.writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 		return
 	}
+	res := s.resolve(r.Context(), raw, r.Header.Get(ForwardedHeader) != "")
+	s.writeResult(w, res)
+}
+
+// resolve runs one design request end to end: parse, key, the layered
+// local stores, peer forwarding, then synthesis behind singleflight and
+// admission. It is the shared engine of the single and batch endpoints.
+// alreadyForwarded marks a request a peer relayed here; it is then always
+// handled locally (single-hop loop protection).
+func (s *Server) resolve(ctx context.Context, raw []byte, alreadyForwarded bool) itemResult {
+	pat, opt, lane, err := s.parseDesignRequest(raw)
+	if err != nil {
+		return s.errorResult(ctx, "", err)
+	}
+	obs.Count(s.col, "serve.lane_"+lane, 1)
 	key := Key(pat, opt)
 
-	if ent, ok := s.cache.Get(key); ok {
+	if ent, ok := s.lookup(key); ok {
 		obs.Count(s.col, "serve.cache_hit", 1)
-		writeEntry(w, ent, "hit")
-		return
+		return itemResult{status: http.StatusOK, key: ent.Key, cache: "hit", warm: ent.Warm, body: ent.Body}
+	}
+	if !alreadyForwarded {
+		if res, ok := s.forward(ctx, key, raw); ok {
+			return res
+		}
 	}
 
 	reqCol := obs.NewCollector()
-	ent, err, shared := s.flights.Do(r.Context(), key, func(runCtx context.Context) (*entry, error) {
-		return s.synthesize(runCtx, key, pat, opt, reqCol)
+	ent, err, shared := s.flights.Do(ctx, key, func(runCtx context.Context) (*Entry, error) {
+		return s.synthesize(runCtx, key, pat, opt, lane, reqCol)
 	})
+	if err != nil {
+		return s.errorResult(ctx, key, err)
+	}
+	how := "miss"
+	if shared {
+		how = "shared"
+		obs.Count(s.col, "serve.singleflight_shared", 1)
+	}
+	return itemResult{status: http.StatusOK, key: ent.Key, cache: how, warm: ent.Warm, body: ent.Body}
+}
+
+// errorResult maps a resolution failure onto its status, envelope code, and
+// counters.
+func (s *Server) errorResult(ctx context.Context, key string, err error) itemResult {
+	var bad *badRequestError
 	switch {
-	case err == nil:
-		how := "miss"
-		if shared {
-			how = "shared"
-			obs.Count(s.col, "serve.singleflight_shared", 1)
-		}
-		writeEntry(w, ent, how)
+	case errors.As(err, &bad):
+		obs.Count(s.col, "serve.bad_requests", 1)
+		return itemResult{status: http.StatusBadRequest, key: key, errCode: CodeBadRequest, errMsg: bad.Error()}
+	case errors.Is(err, errBulkSaturated):
+		obs.Count(s.col, "serve.lane_bulk_throttled", 1)
+		return itemResult{status: http.StatusTooManyRequests, key: key, errCode: CodeBulkSaturated,
+			errMsg: "bulk lane at its inflight watermark, retry later"}
 	case errors.Is(err, errQueueFull):
 		obs.Count(s.col, "serve.queue_full", 1)
-		http.Error(w, "synthesis queue full, retry later", http.StatusServiceUnavailable)
-	case r.Context().Err() != nil:
-		// The client hung up; the status line goes nowhere but keeps the
+		return itemResult{status: http.StatusServiceUnavailable, key: key, errCode: CodeQueueFull,
+			errMsg: "synthesis queue full, retry later"}
+	case ctx.Err() != nil:
+		// The client hung up; the status goes nowhere but keeps the
 		// accounting straight. The synthesis itself aborts once the last
 		// waiter is gone (serve.synth_aborted counts that).
 		obs.Count(s.col, "serve.client_gone", 1)
-		w.WriteHeader(StatusClientClosedRequest)
+		return itemResult{status: StatusClientClosedRequest, key: key}
 	case errors.Is(err, context.DeadlineExceeded):
 		obs.Count(s.col, "serve.timeout", 1)
-		http.Error(w, "synthesis exceeded the server budget", http.StatusGatewayTimeout)
+		return itemResult{status: http.StatusGatewayTimeout, key: key, errCode: CodeTimeout,
+			errMsg: "synthesis exceeded the server budget"}
 	default:
 		obs.Count(s.col, "serve.errors", 1)
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return itemResult{status: http.StatusInternalServerError, key: key, errCode: CodeInternal, errMsg: err.Error()}
 	}
+}
+
+// writeResult renders an itemResult as the single-endpoint response.
+func (s *Server) writeResult(w http.ResponseWriter, res itemResult) {
+	if res.status == StatusClientClosedRequest {
+		w.WriteHeader(StatusClientClosedRequest)
+		return
+	}
+	if res.status != http.StatusOK {
+		s.writeError(w, res.status, res.errCode, res.errMsg)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("X-Nocd-Cache", res.cache)
+	h.Set("X-Nocd-Pattern-Hash", res.key)
+	if res.warm != "" {
+		h.Set("X-Nocd-Warm", res.warm)
+	}
+	w.Write(res.body)
+}
+
+// lookup consults the layered local stores front to back: the memory LRU,
+// then the disk store, promoting disk hits into memory. Per-backend
+// dispositions land on the serve.store_{mem,disk}_{hit,miss} counters.
+func (s *Server) lookup(key string) (*Entry, bool) {
+	if ent, ok := s.mem.Get(key); ok {
+		obs.Count(s.col, "serve.store_mem_hit", 1)
+		return ent, true
+	}
+	obs.Count(s.col, "serve.store_mem_miss", 1)
+	if s.disk == nil {
+		return nil, false
+	}
+	ent, ok := s.disk.Get(key)
+	if !ok {
+		obs.Count(s.col, "serve.store_disk_miss", 1)
+		return nil, false
+	}
+	obs.Count(s.col, "serve.store_disk_hit", 1)
+	// Promote into memory. The disk layer still holds every key, so the
+	// promotion's evictions don't invalidate warm-index entries.
+	s.mem.Put(ent)
+	return ent, true
+}
+
+// store writes an entry through the layered stores and keeps the warm
+// index in lockstep with whichever layer is authoritative: the disk store
+// when present (it never evicts), otherwise the memory LRU.
+func (s *Server) store(ent *Entry) bool {
+	evicted, stored := s.mem.Put(ent)
+	if s.disk != nil {
+		if _, ok := s.disk.Put(ent); ok {
+			obs.Count(s.col, "serve.store_disk_write", 1)
+		}
+	} else {
+		s.warm.remove(evicted...)
+	}
+	return stored || s.disk != nil
 }
 
 // badRequestError marks request-construction failures that map to 4xx.
@@ -274,38 +474,47 @@ func badRequest(format string, args ...any) error {
 }
 
 // parseDesignRequest decodes and validates the body, builds the pattern,
-// and resolves the effective synthesis options. All failures are client
-// errors.
-func (s *Server) parseDesignRequest(r *http.Request) (*model.Pattern, synth.Options, error) {
+// and resolves the effective synthesis options and admission lane. All
+// failures are client errors.
+func (s *Server) parseDesignRequest(raw []byte) (*model.Pattern, synth.Options, string, error) {
 	var opt synth.Options
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxRequestBytes))
+	dec := json.NewDecoder(bytes.NewReader(raw))
 	dec.DisallowUnknownFields()
 	var req DesignRequest
 	if err := dec.Decode(&req); err != nil {
-		return nil, opt, badRequest("decoding request: %v", err)
+		return nil, opt, "", badRequest("decoding request: %v", err)
+	}
+
+	lane := req.Lane
+	switch lane {
+	case "", LaneInteractive:
+		lane = LaneInteractive
+	case LaneBulk:
+	default:
+		return nil, opt, "", badRequest("unknown lane %q (want %q or %q)", req.Lane, LaneInteractive, LaneBulk)
 	}
 
 	var pat *model.Pattern
 	switch {
 	case req.Benchmark != "" && req.Trace != "":
-		return nil, opt, badRequest("benchmark and trace are mutually exclusive")
+		return nil, opt, "", badRequest("benchmark and trace are mutually exclusive")
 	case req.Benchmark != "":
 		if req.Procs <= 0 {
-			return nil, opt, badRequest("benchmark requests need procs > 0, got %d", req.Procs)
+			return nil, opt, "", badRequest("benchmark requests need procs > 0, got %d", req.Procs)
 		}
 		p, err := s.generateWorkload(req)
 		if err != nil {
-			return nil, opt, err
+			return nil, opt, "", err
 		}
 		pat = p
 	case req.Trace != "":
 		p, err := trace.Decode(strings.NewReader(req.Trace))
 		if err != nil {
-			return nil, opt, badRequest("decoding trace: %v", err)
+			return nil, opt, "", badRequest("decoding trace: %v", err)
 		}
 		pat = p
 	default:
-		return nil, opt, badRequest("request needs a benchmark or an inline trace")
+		return nil, opt, "", badRequest("request needs a benchmark or an inline trace")
 	}
 
 	opt = s.cfg.Synth
@@ -322,9 +531,9 @@ func (s *Server) parseDesignRequest(r *http.Request) (*model.Pattern, synth.Opti
 		opt.Restarts = req.Restarts
 	}
 	if opt.Restarts < 0 || opt.Restarts > 64 {
-		return nil, opt, badRequest("restarts %d outside [1, 64]", opt.Restarts)
+		return nil, opt, "", badRequest("restarts %d outside [1, 64]", opt.Restarts)
 	}
-	return pat, opt, nil
+	return pat, opt, lane, nil
 }
 
 // generateWorkload resolves a named workload against the NAS registry
@@ -372,17 +581,6 @@ func (s *Server) generateWorkload(req DesignRequest) (*model.Pattern, error) {
 	return nil, cerr
 }
 
-func (s *Server) clientError(w http.ResponseWriter, err error) {
-	var bad *badRequestError
-	if errors.As(err, &bad) {
-		obs.Count(s.col, "serve.bad_requests", 1)
-		http.Error(w, bad.Error(), http.StatusBadRequest)
-		return
-	}
-	obs.Count(s.col, "serve.errors", 1)
-	http.Error(w, err.Error(), http.StatusInternalServerError)
-}
-
 // acquire claims a synthesis slot, queueing up to MaxQueue callers.
 func (s *Server) acquire(ctx context.Context) error {
 	select {
@@ -405,11 +603,34 @@ func (s *Server) acquire(ctx context.Context) error {
 
 func (s *Server) release() { <-s.sem }
 
-// synthesize is the singleflight leader body: admission, the synthesis
-// itself under the request context plus server budget, response rendering,
-// and the cache store.
-func (s *Server) synthesize(runCtx context.Context, key string, pat *model.Pattern, opt synth.Options, reqCol *obs.Collector) (*entry, error) {
+// acquireBulk claims a bulk-lane slot without blocking: bulk work at the
+// watermark fails fast rather than queueing ahead of interactive traffic.
+func (s *Server) acquireBulk() error {
+	if s.bulkSem == nil {
+		return errBulkSaturated // bulk lane disabled
+	}
+	select {
+	case s.bulkSem <- struct{}{}:
+		return nil
+	default:
+		return errBulkSaturated
+	}
+}
+
+func (s *Server) releaseBulk() { <-s.bulkSem }
+
+// synthesize is the singleflight leader body: lane and queue admission, the
+// synthesis itself under the request context plus server budget, response
+// rendering, and the write-through store. The lane is the leader's — a
+// request joining an in-flight call shares its result regardless of lane.
+func (s *Server) synthesize(runCtx context.Context, key string, pat *model.Pattern, opt synth.Options, lane string, reqCol *obs.Collector) (*Entry, error) {
 	obs.Count(s.col, "serve.cache_miss", 1)
+	if lane == LaneBulk {
+		if err := s.acquireBulk(); err != nil {
+			return nil, err
+		}
+		defer s.releaseBulk()
+	}
 	if err := s.acquire(runCtx); err != nil {
 		return nil, err
 	}
@@ -478,10 +699,8 @@ func (s *Server) synthesize(runCtx context.Context, key string, pat *model.Patte
 	if err != nil {
 		return nil, fmt.Errorf("serve: rendering response: %w", err)
 	}
-	ent := &entry{key: key, body: append(body, '\n'), warm: warmHow}
-	evicted, stored := s.cache.Add(ent)
-	s.warm.remove(evicted...)
-	if stored {
+	ent := &Entry{Key: key, Body: append(body, '\n'), Warm: warmHow, Fp: fp}
+	if s.store(ent) {
 		obs.Count(s.col, "serve.cache_store", 1)
 		if fp != nil {
 			if seed := synth.SeedFromDesign(res.Net, res.Table); seed != nil {
@@ -494,29 +713,25 @@ func (s *Server) synthesize(runCtx context.Context, key string, pat *model.Patte
 }
 
 // handleGetDesign replays a cached design by its content-addressed key —
-// the X-Nocd-Pattern-Hash every /design response carries. Bytes are
-// identical to the original response; a key the cache no longer holds (or
-// never held) is a plain 404, since entries are evictable by design.
+// the X-Nocd-Pattern-Hash every /v1/design response carries. Bytes are
+// identical to the original response; the lookup walks memory, disk, and
+// (for unforwarded requests) the key's owning peer, and a key no layer
+// holds is a plain 404, since entries are evictable by design.
 func (s *Server) handleGetDesign(w http.ResponseWriter, r *http.Request) {
 	obs.Count(s.col, "serve.design_fetch", 1)
-	ent, ok := s.cache.Get(r.PathValue("key"))
-	if !ok {
-		obs.Count(s.col, "serve.design_fetch_miss", 1)
-		http.Error(w, "design not cached", http.StatusNotFound)
+	key := r.PathValue("key")
+	if ent, ok := s.lookup(key); ok {
+		s.writeResult(w, itemResult{status: http.StatusOK, key: ent.Key, cache: "hit", warm: ent.Warm, body: ent.Body})
 		return
 	}
-	writeEntry(w, ent, "hit")
-}
-
-func writeEntry(w http.ResponseWriter, ent *entry, how string) {
-	h := w.Header()
-	h.Set("Content-Type", "application/json")
-	h.Set("X-Nocd-Cache", how)
-	h.Set("X-Nocd-Pattern-Hash", ent.key)
-	if ent.warm != "" {
-		h.Set("X-Nocd-Warm", ent.warm)
+	if r.Header.Get(ForwardedHeader) == "" {
+		if res, ok := s.forwardGet(r.Context(), key); ok {
+			s.writeResult(w, res)
+			return
+		}
 	}
-	w.Write(ent.body)
+	obs.Count(s.col, "serve.design_fetch_miss", 1)
+	s.writeError(w, http.StatusNotFound, CodeNotFound, "design not cached")
 }
 
 // Serve runs the server on ln until ctx is cancelled, then drains

@@ -29,6 +29,17 @@ func quickConfig() Config {
 	}
 }
 
+// newTestServer builds a Server, failing the test on construction errors
+// (the only source is an unusable -data-dir).
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return srv
+}
+
 func postDesign(t *testing.T, url, body string) (*http.Response, []byte) {
 	t.Helper()
 	resp, err := http.Post(url+"/design", "application/json", strings.NewReader(body))
@@ -61,7 +72,7 @@ func waitCounter(t *testing.T, col *obs.Collector, name string, want int64) {
 // byte-identical and served without re-entering synth.Synthesize, proven by
 // the serve.cache_* and synth.runs counters on the server's Collector.
 func TestDesignCacheMissThenHit(t *testing.T) {
-	srv := New(quickConfig())
+	srv := newTestServer(t, quickConfig())
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
@@ -154,7 +165,7 @@ func TestDesignSingleflightCollapse(t *testing.T) {
 	gate := newGate()
 	cfg := quickConfig()
 	cfg.Synth.Obs = gate
-	srv := New(cfg)
+	srv := newTestServer(t, cfg)
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
@@ -211,7 +222,7 @@ func TestDesignSingleflightCollapse(t *testing.T) {
 func TestDesignLRUEviction(t *testing.T) {
 	cfg := quickConfig()
 	cfg.CacheSize = 1
-	srv := New(cfg)
+	srv := newTestServer(t, cfg)
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
@@ -232,7 +243,7 @@ func TestDesignLRUEviction(t *testing.T) {
 	if miss, hit := col.Counter("serve.cache_miss"), col.Counter("serve.cache_hit"); miss != 3 || hit != 0 {
 		t.Errorf("miss/hit = %d/%d, want 3/0", miss, hit)
 	}
-	if got := srv.cache.Len(); got != 1 {
+	if got := srv.mem.Len(); got != 1 {
 		t.Errorf("cache holds %d entries, want 1", got)
 	}
 }
@@ -241,7 +252,7 @@ func TestDesignLRUEviction(t *testing.T) {
 // client error — never a crash or a 500 — for malformed input, including
 // the unknown-benchmark typed error from internal/nas.
 func TestDesignBadRequests(t *testing.T) {
-	srv := New(quickConfig())
+	srv := newTestServer(t, quickConfig())
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
@@ -305,7 +316,7 @@ func TestDesignInlineTrace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := New(quickConfig())
+	srv := newTestServer(t, quickConfig())
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
@@ -330,7 +341,7 @@ func TestClientDisconnectAbortsSynthesis(t *testing.T) {
 	gate := newGate()
 	cfg := quickConfig()
 	cfg.Synth.Obs = gate
-	srv := New(cfg)
+	srv := newTestServer(t, cfg)
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
@@ -362,7 +373,7 @@ func TestClientDisconnectAbortsSynthesis(t *testing.T) {
 	// check; it must abort rather than complete.
 	close(gate.release)
 	waitCounter(t, srv.Metrics(), "serve.synth_aborted", 1)
-	if got := srv.cache.Len(); got != 0 {
+	if got := srv.mem.Len(); got != 0 {
 		t.Errorf("aborted synthesis was cached (%d entries)", got)
 	}
 }
@@ -375,7 +386,7 @@ func TestQueueFull(t *testing.T) {
 	cfg.Synth.Obs = gate
 	cfg.MaxInFlight = 1
 	cfg.MaxQueue = -1 // no queueing at all
-	srv := New(cfg)
+	srv := newTestServer(t, cfg)
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
@@ -401,7 +412,7 @@ func TestQueueFull(t *testing.T) {
 }
 
 func TestHealthzMetricsBenchmarks(t *testing.T) {
-	srv := New(quickConfig())
+	srv := newTestServer(t, quickConfig())
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
@@ -465,7 +476,7 @@ func TestHealthzMetricsBenchmarks(t *testing.T) {
 // collective's pattern name, and is served from cache on repetition exactly
 // like a NAS benchmark.
 func TestDesignCollective(t *testing.T) {
-	srv := New(quickConfig())
+	srv := newTestServer(t, quickConfig())
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 

@@ -31,7 +31,7 @@ type flightCall struct {
 
 	// ent and err are written by the runner goroutine before done closes
 	// and read only after <-done, so the close is their happens-before.
-	ent *entry
+	ent *Entry
 	err error
 }
 
@@ -43,7 +43,7 @@ func newFlightGroup() *flightGroup {
 // reports whether this caller joined another caller's in-flight work. If
 // ctx dies before the call completes, Do returns ctx.Err() promptly; the
 // underlying work is cancelled only once every waiter has given up.
-func (g *flightGroup) Do(ctx context.Context, key string, fn func(runCtx context.Context) (*entry, error)) (ent *entry, err error, shared bool) {
+func (g *flightGroup) Do(ctx context.Context, key string, fn func(runCtx context.Context) (*Entry, error)) (ent *Entry, err error, shared bool) {
 	g.mu.Lock()
 	if c, ok := g.m[key]; ok {
 		c.mu.Lock()
@@ -72,7 +72,7 @@ func (g *flightGroup) Do(ctx context.Context, key string, fn func(runCtx context
 // wait blocks until the call completes or ctx dies, whichever is first; a
 // dead ctx deregisters this waiter (cancelling the shared work when it was
 // the last) and surfaces the ctx error.
-func (c *flightCall) wait(ctx context.Context) (*entry, error) {
+func (c *flightCall) wait(ctx context.Context) (*Entry, error) {
 	select {
 	case <-c.done:
 		return c.ent, c.err

@@ -23,11 +23,11 @@ func TestFlightGroupCollapses(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			ent, err, shared := g.Do(context.Background(), "k", func(context.Context) (*entry, error) {
+			ent, err, shared := g.Do(context.Background(), "k", func(context.Context) (*Entry, error) {
 				calls.Add(1)
 				close(started)
 				<-release
-				return &entry{key: "k", body: []byte("result")}, nil
+				return &Entry{Key: "k", Body: []byte("result")}, nil
 			})
 			if err != nil {
 				t.Errorf("caller %d: %v", i, err)
@@ -36,7 +36,7 @@ func TestFlightGroupCollapses(t *testing.T) {
 			if shared {
 				sharedCount.Add(1)
 			}
-			bodies[i] = ent.body
+			bodies[i] = ent.Body
 		}(i)
 	}
 	<-started
@@ -65,10 +65,10 @@ func TestFlightGroupDistinctKeysIndependent(t *testing.T) {
 		wg.Add(1)
 		go func(k string) {
 			defer wg.Done()
-			g.Do(context.Background(), k, func(context.Context) (*entry, error) {
+			g.Do(context.Background(), k, func(context.Context) (*Entry, error) {
 				calls.Add(1)
 				time.Sleep(10 * time.Millisecond)
-				return &entry{key: k}, nil
+				return &Entry{Key: k}, nil
 			})
 		}(k)
 	}
@@ -85,16 +85,16 @@ func TestFlightGroupDistinctKeysIndependent(t *testing.T) {
 func TestFlightGroupErrorShared(t *testing.T) {
 	g := newFlightGroup()
 	boom := errors.New("boom")
-	_, err, _ := g.Do(context.Background(), "k", func(context.Context) (*entry, error) {
+	_, err, _ := g.Do(context.Background(), "k", func(context.Context) (*Entry, error) {
 		return nil, boom
 	})
 	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want boom", err)
 	}
-	ent, err, _ := g.Do(context.Background(), "k", func(context.Context) (*entry, error) {
-		return &entry{key: "k", body: []byte("ok")}, nil
+	ent, err, _ := g.Do(context.Background(), "k", func(context.Context) (*Entry, error) {
+		return &Entry{Key: "k", Body: []byte("ok")}, nil
 	})
-	if err != nil || string(ent.body) != "ok" {
+	if err != nil || string(ent.Body) != "ok" {
 		t.Errorf("retry after failure: ent=%v err=%v", ent, err)
 	}
 }
@@ -106,7 +106,7 @@ func TestFlightGroupLastWaiterCancels(t *testing.T) {
 	started := make(chan struct{})
 	runDead := make(chan struct{})
 
-	fn := func(runCtx context.Context) (*entry, error) {
+	fn := func(runCtx context.Context) (*Entry, error) {
 		close(started)
 		<-runCtx.Done() // only ever released by cancellation
 		close(runDead)
@@ -160,11 +160,11 @@ func TestFlightGroupCompletesWithoutWaiters(t *testing.T) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	go func() {
-		g.Do(ctx, "k", func(runCtx context.Context) (*entry, error) {
+		g.Do(ctx, "k", func(runCtx context.Context) (*Entry, error) {
 			close(started)
 			<-runCtx.Done()
 			defer close(finished)
-			return &entry{key: "k"}, nil // completes "successfully" anyway
+			return &Entry{Key: "k"}, nil // completes "successfully" anyway
 		})
 	}()
 	<-started
@@ -177,10 +177,10 @@ func TestFlightGroupCompletesWithoutWaiters(t *testing.T) {
 	// The key must be free for the next caller.
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		ent, err, shared := g.Do(context.Background(), "k", func(context.Context) (*entry, error) {
-			return &entry{key: "k", body: []byte("fresh")}, nil
+		ent, err, shared := g.Do(context.Background(), "k", func(context.Context) (*Entry, error) {
+			return &Entry{Key: "k", Body: []byte("fresh")}, nil
 		})
-		if err == nil && !shared && string(ent.body) == "fresh" {
+		if err == nil && !shared && string(ent.Body) == "fresh" {
 			return
 		}
 		if time.Now().After(deadline) {

@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// Entry is one stored design response: the exact bytes served for the key,
+// replayed verbatim on every hit so repeated requests are byte-identical.
+// Warm records how the synthesis started ("cold" or "seeded"; empty when the
+// warm-start layer is disabled) and is surfaced as the X-Nocd-Warm header —
+// like the cache disposition, it is deliberately not part of the body. Fp is
+// the structural fingerprint of the request's trace (nil when warm starts
+// are disabled); the disk backend persists it so the warm index can be
+// rebuilt on restart without re-deriving the trace.
+type Entry struct {
+	Key  string
+	Body []byte
+	Warm string
+	Fp   *trace.Fingerprint
+}
+
+// Store is one backend in the layered design cache. The server stacks
+// backends — the in-memory LRU in front of the optional persistent disk
+// store — and consults them front to back on Get, writing through on Put.
+// All implementations are safe for concurrent use.
+//
+// Put reports whether the entry was stored and which keys the backend
+// evicted to make room (the evict-notify half of the contract): secondary
+// indexes layered on a backend — the warm-start fingerprint index — use the
+// evicted keys to stay in lockstep with the backend's contents.
+type Store interface {
+	// Get returns the entry stored for key.
+	Get(key string) (*Entry, bool)
+	// Put stores (or refreshes) an entry.
+	Put(e *Entry) (evicted []string, stored bool)
+	// Len reports the number of stored entries.
+	Len() int
+}
+
+// memStore is the bounded most-recently-used in-memory backend. Both Get
+// and Put refresh recency; when Put pushes the store past capacity the
+// least recently used entries are evicted.
+type memStore struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used; values are *Entry
+	m   map[string]*list.Element
+}
+
+func newMemStore(capacity int) *memStore {
+	return &memStore{
+		cap: capacity,
+		ll:  list.New(),
+		m:   make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns the entry for key, refreshing its recency.
+func (c *memStore) Get(key string) (*Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*Entry), true
+}
+
+// Put inserts (or refreshes) an entry, evicting from the cold end to stay
+// within capacity. A non-positive capacity disables the backend entirely.
+func (c *memStore) Put(e *Entry) (evicted []string, stored bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[e.Key]; ok {
+		el.Value = e
+		c.ll.MoveToFront(el)
+		return nil, true
+	}
+	c.m[e.Key] = c.ll.PushFront(e)
+	for c.ll.Len() > c.cap {
+		cold := c.ll.Back()
+		c.ll.Remove(cold)
+		k := cold.Value.(*Entry).Key
+		delete(c.m, k)
+		evicted = append(evicted, k)
+	}
+	return evicted, true
+}
+
+// Len returns the number of stored entries.
+func (c *memStore) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -35,7 +35,7 @@ func assertDesignOK(t *testing.T, body []byte) {
 // a different content key — is served from a seeded synthesis instead of a
 // cold start, at cold-start quality.
 func TestWarmSeededAcrossVariants(t *testing.T) {
-	srv := New(quickConfig())
+	srv := newTestServer(t, quickConfig())
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
@@ -91,7 +91,7 @@ func TestWarmSeededAcrossVariants(t *testing.T) {
 // TestWarmUnrelatedStaysCold: a structurally unrelated workload must not be
 // seeded from the cache — its nearest neighbor is beyond the threshold.
 func TestWarmUnrelatedStaysCold(t *testing.T) {
-	srv := New(quickConfig())
+	srv := newTestServer(t, quickConfig())
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
@@ -117,7 +117,7 @@ func TestWarmUnrelatedStaysCold(t *testing.T) {
 func TestWarmDisabled(t *testing.T) {
 	cfg := quickConfig()
 	cfg.WarmThreshold = -1
-	srv := New(cfg)
+	srv := newTestServer(t, cfg)
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
@@ -145,7 +145,7 @@ func TestWarmDisabled(t *testing.T) {
 func TestWarmIndexFollowsEviction(t *testing.T) {
 	cfg := quickConfig()
 	cfg.CacheSize = 1
-	srv := New(cfg)
+	srv := newTestServer(t, cfg)
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
@@ -170,7 +170,7 @@ func TestWarmIndexFollowsEviction(t *testing.T) {
 // the content-addressed key every response advertises, and 404s for keys
 // the cache does not hold.
 func TestGetDesignByKey(t *testing.T) {
-	srv := New(quickConfig())
+	srv := newTestServer(t, quickConfig())
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
