@@ -16,11 +16,14 @@
 //
 // With -ratio NUM:DEN (two benchmark names, GOMAXPROCS suffix optional,
 // separated by ':' since names may contain '/'), the report gains a
-// speedup record ns(NUM)/ns(DEN); with -min-ratio, the run fails when the
-// measured ratio falls below that floor. Because both sides run on the
-// same machine in the same invocation, the gate is machine-independent —
-// `make bench-flitsim` uses it to hold the reference-engine/event-engine
-// speedup at >= 10x.
+// speedup record ns(NUM)/ns(DEN); -ratio repeats to gate several pairs in
+// one run. With -min-ratio, the run fails when any measured ns/op ratio
+// falls below that floor; with -min-alloc-ratio (requires -benchmem
+// input), the same check applies to the allocs/op ratio. Because both
+// sides run on the same machine in the same invocation, the gates are
+// machine-independent — `make bench-flitsim` holds the reference-engine/
+// event-engine speedup at >= 10x, and `make perf-synth` holds the
+// reference/incremental move-engine ratio at >= 2x time and >= 5x allocs.
 package main
 
 import (
@@ -51,12 +54,16 @@ type Result struct {
 }
 
 // Ratio is the speedup record produced by -ratio: Value is the numerator
-// benchmark's ns/op divided by the denominator's.
+// benchmark's ns/op divided by the denominator's. AllocValue is the same
+// quotient over allocs/op, present only when both sides carried -benchmem
+// stats.
 type Ratio struct {
-	Numerator   string  `json:"numerator"`
-	Denominator string  `json:"denominator"`
-	Value       float64 `json:"value"`
-	MinRatio    float64 `json:"min_ratio,omitempty"`
+	Numerator     string   `json:"numerator"`
+	Denominator   string   `json:"denominator"`
+	Value         float64  `json:"value"`
+	MinRatio      float64  `json:"min_ratio,omitempty"`
+	AllocValue    *float64 `json:"alloc_value,omitempty"`
+	MinAllocRatio float64  `json:"min_alloc_ratio,omitempty"`
 }
 
 // Report is the emitted JSON document. GoMaxProcs and NumCPU describe the
@@ -70,7 +77,10 @@ type Report struct {
 	GoMaxProcs int      `json:"gomaxprocs"`
 	NumCPU     int      `json:"numcpu"`
 	Results    []Result `json:"results"`
-	Ratio      *Ratio   `json:"ratio,omitempty"`
+	// Ratio mirrors Ratios[0] for readers of the original single-ratio
+	// reports; Ratios carries every -ratio record in flag order.
+	Ratio  *Ratio  `json:"ratio,omitempty"`
+	Ratios []Ratio `json:"ratios,omitempty"`
 }
 
 func main() {
@@ -78,8 +88,13 @@ func main() {
 	raw := flag.String("raw", "", "also copy the raw benchmark text to this file")
 	baseline := flag.String("baseline", "", "baseline JSON report to annotate ns/op deltas against")
 	budget := flag.Float64("budget", 0, "fail when any matched benchmark is slower than -baseline by more than this percent")
-	ratio := flag.String("ratio", "", "NUM:DEN benchmark names; record the ns/op ratio ns(NUM)/ns(DEN)")
-	minRatio := flag.Float64("min-ratio", 0, "fail when the -ratio value is below this floor")
+	var ratioSpecs []string
+	flag.Func("ratio", "NUM:DEN benchmark names; record the ns/op ratio ns(NUM)/ns(DEN) (repeatable)", func(v string) error {
+		ratioSpecs = append(ratioSpecs, v)
+		return nil
+	})
+	minRatio := flag.Float64("min-ratio", 0, "fail when any -ratio ns/op value is below this floor")
+	minAllocRatio := flag.Float64("min-alloc-ratio", 0, "fail when any -ratio allocs/op value is below this floor (input must use -benchmem)")
 	flag.Parse()
 
 	var rawBuf strings.Builder
@@ -138,17 +153,31 @@ func main() {
 			}
 		}
 	}
-	if *ratio != "" {
-		r, err := computeRatio(&rep, *ratio, *minRatio)
+	for _, spec := range ratioSpecs {
+		r, err := computeRatio(&rep, spec, *minRatio, *minAllocRatio)
 		if err != nil {
 			fatal(err)
 		}
-		rep.Ratio = r
+		rep.Ratios = append(rep.Ratios, *r)
 		if *minRatio > 0 && r.Value < *minRatio {
 			regressions = append(regressions,
 				fmt.Sprintf("speedup %s / %s = %.2fx, below floor %.2fx",
 					r.Numerator, r.Denominator, r.Value, *minRatio))
 		}
+		if *minAllocRatio > 0 {
+			if r.AllocValue == nil {
+				regressions = append(regressions,
+					fmt.Sprintf("alloc ratio %s / %s: allocs/op missing (run the benchmarks with -benchmem)",
+						r.Numerator, r.Denominator))
+			} else if *r.AllocValue < *minAllocRatio {
+				regressions = append(regressions,
+					fmt.Sprintf("alloc ratio %s / %s = %.2fx, below floor %.2fx",
+						r.Numerator, r.Denominator, *r.AllocValue, *minAllocRatio))
+			}
+		}
+	}
+	if len(rep.Ratios) > 0 {
+		rep.Ratio = &rep.Ratios[0]
 	}
 	if *raw != "" {
 		if err := os.WriteFile(*raw, []byte(rawBuf.String()), 0o644); err != nil {
@@ -173,9 +202,9 @@ func main() {
 	}
 }
 
-// computeRatio resolves the -ratio spec against the parsed results. Names
+// computeRatio resolves one -ratio spec against the parsed results. Names
 // match with the GOMAXPROCS suffix stripped on both sides.
-func computeRatio(rep *Report, spec string, minRatio float64) (*Ratio, error) {
+func computeRatio(rep *Report, spec string, minRatio, minAllocRatio float64) (*Ratio, error) {
 	num, den, ok := strings.Cut(spec, ":")
 	if !ok || num == "" || den == "" {
 		return nil, fmt.Errorf("-ratio %q: want NUM:DEN benchmark names", spec)
@@ -200,12 +229,18 @@ func computeRatio(rep *Report, spec string, minRatio float64) (*Ratio, error) {
 	if rd.NsPerOp == 0 {
 		return nil, fmt.Errorf("-ratio: denominator %q has 0 ns/op", den)
 	}
-	return &Ratio{
-		Numerator:   stripGomaxprocs(rn.Name),
-		Denominator: stripGomaxprocs(rd.Name),
-		Value:       rn.NsPerOp / rd.NsPerOp,
-		MinRatio:    minRatio,
-	}, nil
+	r := &Ratio{
+		Numerator:     stripGomaxprocs(rn.Name),
+		Denominator:   stripGomaxprocs(rd.Name),
+		Value:         rn.NsPerOp / rd.NsPerOp,
+		MinRatio:      minRatio,
+		MinAllocRatio: minAllocRatio,
+	}
+	if rn.AllocsPerOp != nil && rd.AllocsPerOp != nil && *rd.AllocsPerOp != 0 {
+		av := *rn.AllocsPerOp / *rd.AllocsPerOp
+		r.AllocValue = &av
+	}
+	return r, nil
 }
 
 // loadBaseline reads a prior benchjson report and indexes its results by

@@ -16,7 +16,7 @@
 //	nocd [-addr :8080] [-cache-size 128] [-timeout 2m] [-warm-threshold 0] [-data-dir DIR]
 //	     [-self URL] [-peers URL,URL,...] [-bulk-max-inflight 1] [-maxdegree 5]
 //	     [-maxprocs 4] [-restarts 4] [-seed 1] [-workers 0] [-max-inflight 2] [-max-queue 64]
-//	     [-drain-timeout 10s]
+//	     [-drain-timeout 10s] [-pprof-addr localhost:6060]
 //
 // Endpoints (versioned under /v1/; the unversioned paths remain as aliases
 // for one release):
@@ -38,6 +38,8 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -57,6 +59,8 @@ func main() {
 		queue    = flag.Int("max-queue", 64, "syntheses waiting for a slot before 503")
 		drain    = flag.Duration("drain-timeout", 10*time.Second,
 			"how long shutdown waits for in-flight requests")
+		pprofAddr = flag.String("pprof-addr", "",
+			"serve net/http/pprof on this separate address (e.g. localhost:6060); empty disables")
 		shared cliutil.Flags
 	)
 	shared.RegisterSeed(flag.CommandLine, "default synthesis seed")
@@ -89,6 +93,28 @@ func main() {
 		fatal(err)
 	}
 	log.Printf("nocd: serving designs on %s (cache %d, budget %s)", ln.Addr(), shared.CacheSize, shared.Timeout)
+
+	// Profiling stays off the design listener: an explicit mux on its own
+	// address, bound only when asked for, so /debug/pprof/* is never
+	// reachable through the public surface.
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fatal(err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		log.Printf("nocd: pprof on http://%s/debug/pprof/", pln.Addr())
+		go func() {
+			if err := http.Serve(pln, mux); err != nil {
+				log.Printf("nocd: pprof listener: %v", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -5,10 +5,12 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
 
 	"repro/internal/obs"
 )
@@ -132,15 +134,35 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	h.Set("Content-Type", "application/x-ndjson")
 	h.Set("X-Nocd-Batch-Items", strconv.Itoa(len(items)))
 	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
-	enc.SetEscapeHTML(false)
+	re := rowEncoders.Get().(*rowEncoder)
+	defer rowEncoders.Put(re)
 	for range items {
-		enc.Encode(<-rows)
+		re.buf.Reset()
+		if err := re.enc.Encode(<-rows); err != nil {
+			continue
+		}
+		w.Write(re.buf.Bytes())
 		if flusher != nil {
 			flusher.Flush()
 		}
 	}
 }
+
+// rowEncoder is a reusable NDJSON row buffer with a JSON encoder bound to
+// it. Rows are encoded into the buffer and written to the response in one
+// Write, and the pair is pooled across rows and requests so the batch hot
+// path stops allocating an encoder (and growing a fresh buffer) per row.
+type rowEncoder struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var rowEncoders = sync.Pool{New: func() any {
+	re := &rowEncoder{}
+	re.enc = json.NewEncoder(&re.buf)
+	re.enc.SetEscapeHTML(false)
+	return re
+}}
 
 // batchRow maps a resolved item onto its NDJSON row.
 func batchRow(i int, res itemResult) BatchRow {

@@ -34,9 +34,12 @@ func Key(p *model.Pattern, opt synth.Options) string {
 // cache entry. SeedDesign IS included (a warm start changes where the search
 // begins, hence the bytes); the server computes request keys before
 // injecting a seed, so warm-started responses are stored under the cold
-// request's key — see the warm-index determinism note in warm.go. Fields are
-// spelled out (not reflected) so adding an option later forces a conscious
-// decision about whether it belongs in the key.
+// request's key — see the warm-index determinism note in warm.go.
+// ReferenceMoveEngine is deliberately absent too: it selects the retained
+// pre-incremental move evaluator, which the synth equivalence suite pins
+// byte-identical to the default engine, so it cannot change the bytes.
+// Fields are spelled out (not reflected) so adding an option later forces a
+// conscious decision about whether it belongs in the key.
 func OptionsFingerprint(opt synth.Options) string {
 	o := opt.Normalized()
 	return fmt.Sprintf("maxdeg=%d maxprocs=%d seed=%d restarts=%d anneal=%g/%g/%d nobestroute=%t noglobalrefine=%t greedycolor=%t maxrounds=%d seedfp=%s",

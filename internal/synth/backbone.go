@@ -103,7 +103,8 @@ func (s *state) backboneReroute() bool {
 	}
 
 	// Snapshot and reroute everything over backbone shortest paths.
-	snapshot := append([][]int(nil), s.routes...)
+	snapshot := append(s.routeSnap[:0], s.routes...)
+	s.routeSnap = snapshot
 	before := s.globalCost()
 	ok := true
 	for fi, f := range s.flows {
@@ -208,7 +209,7 @@ func bfsPath(adj [][]int, a, b int) []int {
 // switch.
 func (s *state) globalCost() int {
 	n := s.nsw()
-	pairs := make([][2]int, 0, n)
+	pairs := s.gcPairs[:0]
 	for a := 0; a < n; a++ {
 		for b := a + 1; b < n; b++ {
 			if s.pipeLen(a, b) > 0 || s.pipeLen(b, a) > 0 {
@@ -216,9 +217,6 @@ func (s *state) globalCost() int {
 			}
 		}
 	}
-	switches := make([]int, n)
-	for sw := range switches {
-		switches[sw] = sw
-	}
-	return s.localCost(pairs, switches)
+	s.gcPairs = pairs
+	return s.costOf(pairs, s.allSwitches())
 }

@@ -36,6 +36,38 @@ func BenchmarkSynthesizeCG16(b *testing.B) {
 	}
 }
 
+// BenchmarkSynthesizeFigure1Reference and BenchmarkSynthesizeCG16Reference
+// run the same workloads on the retained closure-based move engine. `make
+// perf-synth` gates the in-run Reference:New ratio (time and allocations), so
+// the incremental engine's speedup is measured on the same host in the same
+// process — no cross-machine baseline drift.
+func BenchmarkSynthesizeFigure1Reference(b *testing.B) {
+	pat := nas.Figure1Pattern()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Synthesize(pat, Options{Seed: 1, Restarts: 1, ReferenceMoveEngine: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.ContentionFree {
+			b.Fatal("not contention-free")
+		}
+	}
+}
+
+func BenchmarkSynthesizeCG16Reference(b *testing.B) {
+	pat, err := nas.Generate("CG", 16, nas.Config{Iterations: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Synthesize(pat, Options{Seed: 1, Restarts: 1, ReferenceMoveEngine: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // warmSweepVariants are the warm-start sweep cells: the same NAS app (CG-16)
 // at varied payload and compute scales — the "many similar traces" shape the
 // warm-start path exists for. Shared by the Cold/Seeded benchmark pair so the

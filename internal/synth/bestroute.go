@@ -69,11 +69,13 @@ func (s *state) bestRoute(touch, via []int) {
 				}
 			}
 			if bestVia != -2 {
-				if bestVia == -1 {
-					s.applyGroupRoute(g, []int{a, b})
-				} else {
-					s.applyGroupRoute(g, []int{a, bestVia, b})
+				cand = candBuf[:2]
+				cand[0], cand[1] = a, b
+				if bestVia >= 0 {
+					cand = candBuf[:3]
+					cand[0], cand[1], cand[2] = a, bestVia, b
 				}
+				s.applyGroupRoute(g, cand)
 				s.stats.Reroutes += groupLen(g)
 				improved = true
 			}
@@ -131,30 +133,37 @@ func isMirror(a, b []int) bool {
 }
 
 // applyGroupRoute routes the group's first flow along cand and any paired
-// reverse flow along the mirror of cand. cand is copied, so callers may
-// pass scratch.
+// reverse flow along the mirror of cand. cand may be caller scratch: the
+// incremental engine persists it into shared headers or the arena, the
+// reference engine copies it afresh.
 func (s *state) applyGroupRoute(g group, cand []int) {
-	s.setRoute(g[0], append([]int(nil), cand...))
+	if s.opt.ReferenceMoveEngine {
+		s.setRoute(g[0], append([]int(nil), cand...))
+		if g[1] >= 0 {
+			s.setRoute(g[1], reversed(cand))
+		}
+		return
+	}
+	s.setRoute(g[0], s.persistRoute(cand))
 	if g[1] >= 0 {
-		s.setRoute(g[1], reversed(cand))
+		s.setRoute(g[1], s.persistReversed(cand))
 	}
 }
 
 // groupRouteDelta measures the cost change of rerouting a flow (and its
-// mirrored reverse, if grouped) onto cand, restoring state before returning.
-// cand is not retained; scratch buffers back both the affected-pair set and
-// the transient mirror route.
+// mirrored reverse, if grouped) onto cand inside a probe scope, rolling back
+// before returning — so it is version-neutral and never invalidates cached
+// move gains. cand is not retained; scratch buffers back both the
+// affected-pair set and the transient mirror route.
 func (s *state) groupRouteDelta(g group, cand []int) int {
-	old0 := s.routes[g[0]]
-	var old1 []int
-	pairs := addRoutePairs(s.pairScratch[:0], old0)
+	pairs := addRoutePairs(s.pairScratch[:0], s.routes[g[0]])
 	if g[1] >= 0 {
-		old1 = s.routes[g[1]]
-		pairs = addRoutePairs(pairs, old1)
+		pairs = addRoutePairs(pairs, s.routes[g[1]])
 	}
 	pairs = addRoutePairs(pairs, cand)
 	sws := s.switchesOf(pairs)
-	before := s.localCost(pairs, sws)
+	before := s.costOf(pairs, sws)
+	m := s.beginProbe()
 	s.setRoute(g[0], cand)
 	if g[1] >= 0 {
 		rev := s.revScratch[:0]
@@ -164,11 +173,8 @@ func (s *state) groupRouteDelta(g group, cand []int) int {
 		s.revScratch = rev
 		s.setRoute(g[1], rev)
 	}
-	after := s.localCost(pairs, sws)
-	s.setRoute(g[0], old0)
-	if g[1] >= 0 {
-		s.setRoute(g[1], old1)
-	}
+	after := s.costOf(pairs, sws)
+	s.rollback(m)
 	s.pairScratch = pairs[:0]
 	return after - before
 }
@@ -180,8 +186,15 @@ func (s *state) groupRouteDelta(g group, cand []int) int {
 // any elimination was committed.
 func (s *state) eliminatePipes() bool {
 	changed := false
+	ref := s.opt.ReferenceMoveEngine
 	for sw := range s.swProcs {
-		if s.estDegree(sw) <= s.opt.MaxDegree {
+		deg := 0
+		if ref {
+			deg = s.estDegreeRef(sw)
+		} else {
+			deg = s.estDegree(sw)
+		}
+		if deg <= s.opt.MaxDegree {
 			continue
 		}
 		for other := range s.swProcs {
@@ -237,43 +250,78 @@ func mergeSortedInts(ids []int, n int) []int {
 // tryPipeElimination reroutes every flow crossing pipe (a,b): directly when
 // the direct path avoids the pipe, otherwise via intermediate m (m == -1
 // allows only direct replacements). The batch is kept only if the weighted
-// objective improves.
+// objective improves. Replacement routes are decided twice (a validation
+// pass, then the apply pass inside a probe scope) instead of being
+// materialized into per-call slices.
 func (s *state) tryPipeElimination(ids []int, a, b, m int) bool {
-	olds := make([][]int, len(ids))
-	news := make([][]int, len(ids))
-	for i, fi := range ids {
-		olds[i] = s.routes[fi]
+	for _, fi := range ids {
 		f := s.flows[fi]
 		ha, hb := s.home[f.Src], s.home[f.Dst]
-		switch {
-		case pairKey(ha, hb) != pairKey(a, b):
-			news[i] = []int{ha, hb} // direct path avoids the pipe
-		case m >= 0 && m != ha && m != hb:
-			news[i] = []int{ha, m, hb}
-		default:
+		if pairKey(ha, hb) == pairKey(a, b) && (m < 0 || m == ha || m == hb) {
 			return false // this flow cannot leave the pipe
 		}
 	}
 	pairs := s.pairScratch[:0]
-	for i := range ids {
-		pairs = addRoutePairs(pairs, olds[i])
-		pairs = addRoutePairs(pairs, news[i])
+	for _, fi := range ids {
+		pairs = addRoutePairs(pairs, s.routes[fi])
+		f := s.flows[fi]
+		ha, hb := s.home[f.Src], s.home[f.Dst]
+		if pairKey(ha, hb) != pairKey(a, b) {
+			pairs = addPair(pairs, ha, hb)
+		} else {
+			pairs = addPair(pairs, ha, m)
+			pairs = addPair(pairs, m, hb)
+		}
 	}
 	sws := s.switchesOf(pairs)
-	before := s.localCost(pairs, sws)
-	for i, fi := range ids {
-		s.setRoute(fi, news[i])
+	before := s.costOf(pairs, sws)
+	mk := s.beginProbe()
+	for _, fi := range ids {
+		f := s.flows[fi]
+		ha, hb := s.home[f.Src], s.home[f.Dst]
+		if pairKey(ha, hb) != pairKey(a, b) {
+			s.setRoute(fi, s.directPair(ha, hb)) // direct path avoids the pipe
+		} else {
+			s.setRoute(fi, s.viaRoute(ha, m, hb))
+		}
 	}
-	after := s.localCost(pairs, sws)
+	after := s.costOf(pairs, sws)
 	s.pairScratch = pairs[:0]
 	if after < before {
+		s.keep(mk)
 		s.stats.Reroutes += len(ids)
 		return true
 	}
-	for i, fi := range ids {
-		s.setRoute(fi, olds[i])
-	}
+	s.rollback(mk)
 	return false
+}
+
+// directPair is the two-switch route [a, b]: a shared header on the
+// incremental engine, a fresh allocation on the reference engine.
+func (s *state) directPair(a, b int) []int {
+	if s.opt.ReferenceMoveEngine {
+		return []int{a, b}
+	}
+	if a == b {
+		// Pathological but possible via seed-replayed routes that revisit
+		// their origin: mirror the reference's two-element [a, a] exactly
+		// (cachedDirect would collapse it to the one-switch route).
+		r := s.arena.alloc(2)
+		r[0], r[1] = a, b
+		return r
+	}
+	return s.cachedDirect(a, b)
+}
+
+// viaRoute is the one-intermediate route [a, m, b]: arena-backed on the
+// incremental engine, a fresh allocation on the reference engine.
+func (s *state) viaRoute(a, m, b int) []int {
+	if s.opt.ReferenceMoveEngine {
+		return []int{a, m, b}
+	}
+	r := s.arena.alloc(3)
+	r[0], r[1], r[2] = a, m, b
+	return r
 }
 
 func equalRoute(a, b []int) bool {

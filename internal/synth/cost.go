@@ -12,6 +12,15 @@ package synth
 //     always lowers quad even when it cannot yet lower the width, giving
 //     hill-climbing a gradient across the width plateaus.
 //   - hops: total route length, a weak preference for short paths.
+//
+// Evaluation is incremental: per-direction width/quad pairs are memoized in
+// dirW/dirQ (invalidated by setRouteRaw when the pipe's membership changes),
+// pair widths in pairW, and per-switch width sums in sumW — maintained
+// lazily through the dirty list so estDegree, the old O(switches) hot spot,
+// is O(1) amortized. The *Ref variants recompute everything the way the
+// pre-incremental engine did; the reference move engine uses them so the
+// perf-synth ratio measures real work, and the equivalence suite pins both
+// to identical values.
 const (
 	costHopWeight     = 1
 	costQuadWeight    = 1 << 4
@@ -19,10 +28,10 @@ const (
 	costPenaltyWeight = 1 << 28
 )
 
-// dirStats computes, for one pipe direction, the Fast_Color width bound and
-// the quadratic clique load: per clique, the popcount of the AND between the
-// pipe's flow set and the clique's membership bitset.
-func (s *state) dirStats(from, to int) (width, quad int) {
+// dirStatsCompute computes, for one pipe direction, the Fast_Color width
+// bound and the quadratic clique load: per clique, the popcount of the AND
+// between the pipe's flow set and the clique's membership bitset.
+func (s *state) dirStatsCompute(from, to int) (width, quad int) {
 	pi := from*s.stride + to
 	if s.pipeCount[pi] == 0 {
 		return 0, 0
@@ -39,6 +48,69 @@ func (s *state) dirStats(from, to int) (width, quad int) {
 	return width, quad
 }
 
+// dirStats is dirStatsCompute memoized in dirW/dirQ.
+func (s *state) dirStats(from, to int) (width, quad int) {
+	pi := from*s.stride + to
+	if s.pipeCount[pi] == 0 {
+		return 0, 0
+	}
+	if w := s.dirW[pi]; w >= 0 {
+		return int(w), int(s.dirQ[pi])
+	}
+	width, quad = s.dirStatsCompute(from, to)
+	s.dirW[pi] = int32(width)
+	s.dirQ[pi] = int64(quad)
+	return width, quad
+}
+
+// invalidateDir drops the direction's memo after a membership change and
+// queues the unordered pair's width for a deferred sumW correction. A pair
+// already queued (pairW == -1) is not queued twice.
+func (s *state) invalidateDir(from, to int) {
+	s.dirW[from*s.stride+to] = -1
+	if from == to {
+		// Self-loop pipes (possible only via pathological seed routes)
+		// never contribute to a switch's degree: estDegree has always
+		// summed widths over *other* switches only, so the diagonal stays
+		// out of sumW.
+		return
+	}
+	a, b := from, to
+	if b < a {
+		a, b = b, a
+	}
+	wi := a*s.stride + b
+	if w := s.pairW[wi]; w >= 0 {
+		s.dirty = append(s.dirty, dirtyPair{a: int32(a), b: int32(b), old: w})
+		s.pairW[wi] = -1
+	}
+}
+
+// flushDirty revalidates every queued pair width and folds the change into
+// both endpoints' sumW. After a flush, pairW has no invalid entries and
+// sumW[sw] is exactly Σ over pairs touching sw of the pair's width.
+func (s *state) flushDirty() {
+	if len(s.dirty) == 0 {
+		return
+	}
+	for i := 0; i < len(s.dirty); i++ {
+		d := s.dirty[i]
+		a, b := int(d.a), int(d.b)
+		wi := a*s.stride + b
+		if s.pairW[wi] >= 0 {
+			continue
+		}
+		wf, _ := s.dirStats(a, b)
+		if wb, _ := s.dirStats(b, a); wb > wf {
+			wf = wb
+		}
+		s.pairW[wi] = int32(wf)
+		s.sumW[a] += int64(wf) - int64(d.old)
+		s.sumW[b] += int64(wf) - int64(d.old)
+	}
+	s.dirty = s.dirty[:0]
+}
+
 // fastColorDir applies the Fast_Color bound to one pipe direction.
 func (s *state) fastColorDir(from, to int) int {
 	w, _ := s.dirStats(from, to)
@@ -46,28 +118,32 @@ func (s *state) fastColorDir(from, to int) int {
 }
 
 // estWidth estimates a pipe's link count: the max of the two directions'
-// fast-color bounds (full-duplex links, Section 3.1). Results are memoized
-// in the dense widthCache until a route touching the pipe changes.
+// fast-color bounds (full-duplex links, Section 3.1), memoized in pairW.
 func (s *state) estWidth(a, b int) int {
-	wi := s.widthIdx(a, b)
-	if w := s.widthCache[wi]; w >= 0 {
-		return int(w)
-	}
-	w := s.fastColorDir(a, b)
-	if bk := s.fastColorDir(b, a); bk > w {
-		w = bk
-	}
-	s.widthCache[wi] = int32(w)
-	return w
+	s.flushDirty()
+	return int(s.pairW[s.widthIdx(a, b)])
 }
 
-// estDegree estimates the port count of a switch under current routing.
+// estDegree estimates the port count of a switch under current routing:
+// processor ports plus the maintained width sum, O(1) amortized.
 func (s *state) estDegree(sw int) int {
+	s.flushDirty()
+	return len(s.swProcs[sw]) + int(s.sumW[sw])
+}
+
+// estDegreeRef is the pre-incremental estDegree: a scan over every other
+// switch with both direction widths recomputed from the pipe bitsets.
+func (s *state) estDegreeRef(sw int) int {
 	d := len(s.swProcs[sw])
 	for t := range s.swProcs {
-		if t != sw {
-			d += s.estWidth(sw, t)
+		if t == sw {
+			continue
 		}
+		wf, _ := s.dirStatsCompute(sw, t)
+		if wb, _ := s.dirStatsCompute(t, sw); wb > wf {
+			wf = wb
+		}
+		d += wf
 	}
 	return d
 }
@@ -87,12 +163,23 @@ func (s *state) penaltyOf(switches []int) int {
 	return total
 }
 
-// localCost evaluates the weighted objective restricted to the given pipes
-// and switches. Comparing localCost before and after a tentative change
-// yields the global cost delta, because contributions outside the affected
-// sets are unchanged.
-func (s *state) localCost(pairs [][2]int, switches []int) int {
-	links, quad := 0, 0
+// penaltyOfRef is penaltyOf over estDegreeRef.
+func (s *state) penaltyOfRef(switches []int) int {
+	total := 0
+	for _, sw := range switches {
+		if d := s.estDegreeRef(sw); d > s.opt.MaxDegree {
+			total += d - s.opt.MaxDegree
+		}
+		if n := len(s.swProcs[sw]); n > s.opt.MaxProcsPerSwitch {
+			total += n - s.opt.MaxProcsPerSwitch
+		}
+	}
+	return total
+}
+
+// localCostParts evaluates the weighted objective's components restricted to
+// the given pipes and switches (the hop term is global: s.totalHops).
+func (s *state) localCostParts(pairs [][2]int, switches []int) (pen, links, quad int) {
 	for _, p := range pairs {
 		wf, qf := s.dirStats(p[0], p[1])
 		wb, qb := s.dirStats(p[1], p[0])
@@ -102,10 +189,50 @@ func (s *state) localCost(pairs [][2]int, switches []int) int {
 		links += wf
 		quad += qf + qb
 	}
-	return s.penaltyOf(switches)*costPenaltyWeight +
+	return s.penaltyOf(switches), links, quad
+}
+
+// localCost evaluates the weighted objective restricted to the given pipes
+// and switches. Comparing localCost before and after a tentative change
+// yields the global cost delta, because contributions outside the affected
+// sets are unchanged.
+func (s *state) localCost(pairs [][2]int, switches []int) int {
+	pen, links, quad := s.localCostParts(pairs, switches)
+	return pen*costPenaltyWeight +
 		links*costLinkWeight +
 		quad*costQuadWeight +
 		s.totalHops*costHopWeight
+}
+
+// localCostRef is localCost evaluated the pre-incremental way: direction
+// stats recomputed per pair, degrees rebuilt by scanning every switch pair.
+// Values are identical to localCost's.
+func (s *state) localCostRef(pairs [][2]int, switches []int) int {
+	links, quad := 0, 0
+	for _, p := range pairs {
+		wf, qf := s.dirStatsCompute(p[0], p[1])
+		wb, qb := s.dirStatsCompute(p[1], p[0])
+		if wb > wf {
+			wf = wb
+		}
+		links += wf
+		quad += qf + qb
+	}
+	return s.penaltyOfRef(switches)*costPenaltyWeight +
+		links*costLinkWeight +
+		quad*costQuadWeight +
+		s.totalHops*costHopWeight
+}
+
+// costOf dispatches between the incremental and reference cost evaluators,
+// so the reference engine keeps the pre-incremental work profile in every
+// probe path (moves, swaps, reroutes, pipe eliminations, global scoring) and
+// the perf-synth Reference:New ratio measures the whole engine change.
+func (s *state) costOf(pairs [][2]int, switches []int) int {
+	if s.opt.ReferenceMoveEngine {
+		return s.localCostRef(pairs, switches)
+	}
+	return s.localCost(pairs, switches)
 }
 
 // totalLinks sums estimated widths over all pipes with traffic.
@@ -126,6 +253,9 @@ func (s *state) totalLinks() int {
 func (s *state) violates(sw int) bool {
 	if len(s.swProcs[sw]) > s.opt.MaxProcsPerSwitch {
 		return true
+	}
+	if s.opt.ReferenceMoveEngine {
+		return s.estDegreeRef(sw) > s.opt.MaxDegree
 	}
 	return s.estDegree(sw) > s.opt.MaxDegree
 }

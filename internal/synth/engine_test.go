@@ -1,0 +1,390 @@
+package synth
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/nas"
+	"repro/internal/trace"
+)
+
+// threeSwitchState builds a state already split into three switches so via
+// routes exist.
+func threeSwitchState(t *testing.T, seed int64) *state {
+	t.Helper()
+	s := testState(t, 8, []trace.PhaseSpec{
+		{Flows: []model.Flow{model.F(0, 1), model.F(2, 3), model.F(4, 5), model.F(6, 7)}, Bytes: 64},
+		{Flows: []model.Flow{model.F(1, 4), model.F(3, 6), model.F(5, 0), model.F(7, 2)}, Bytes: 64},
+	}, seed)
+	s.split(0)
+	for sw, procs := range s.swProcs {
+		if len(procs) >= 2 {
+			s.split(sw)
+			break
+		}
+	}
+	if len(s.swProcs) < 3 {
+		t.Fatal("could not build three switches")
+	}
+	return s
+}
+
+// versionsOf copies the gain-cache version counters.
+func versionsOf(s *state) ([]uint32, []uint32) {
+	return append([]uint32(nil), s.pairVer...), append([]uint32(nil), s.homeVer...)
+}
+
+// crossFlow returns a flow ID whose endpoints live on different switches.
+func crossFlow(t *testing.T, s *state) int {
+	t.Helper()
+	for fi, f := range s.flows {
+		if s.home[f.Src] != s.home[f.Dst] {
+			return fi
+		}
+	}
+	t.Fatal("no cross-switch flow")
+	return -1
+}
+
+func TestJournalNestedRollbackRestoresExactly(t *testing.T) {
+	s := threeSwitchState(t, 11)
+	fi := crossFlow(t, s)
+	f := s.flows[fi]
+	before := snapshotFull(s)
+	pv, hv := versionsOf(s)
+
+	m1 := s.beginProbe()
+	a, b := s.home[f.Src], s.home[f.Dst]
+	via := -1
+	for sw := range s.swProcs {
+		if sw != a && sw != b {
+			via = sw
+			break
+		}
+	}
+	r := s.arena.alloc(3)
+	r[0], r[1], r[2] = a, via, b
+	s.setRoute(fi, r)
+	p := s.swProcs[a][0]
+	s.reattachNoReroute(p, b)
+
+	m2 := s.beginProbe()
+	s.setRoute(fi, s.cachedDirect(s.home[f.Src], s.home[f.Dst]))
+	s.reattachNoReroute(p, a)
+	s.rollback(m2)
+	if s.home[p] != b || len(s.routes[fi]) != 3 {
+		t.Fatal("inner rollback undid outer mutations")
+	}
+	s.rollback(m1)
+
+	if !equalSnapshots(before, snapshotFull(s)) {
+		t.Fatal("nested rollback did not restore state")
+	}
+	checkStateInvariants(t, s)
+	pv2, hv2 := versionsOf(s)
+	for i := range pv {
+		if pv[i] != pv2[i] {
+			t.Fatalf("rollback bumped pairVer[%d]", i)
+		}
+	}
+	for i := range hv {
+		if hv[i] != hv2[i] {
+			t.Fatalf("rollback bumped homeVer[%d]", i)
+		}
+	}
+	if len(s.journal) != 0 || s.jDepth != 0 {
+		t.Fatalf("journal not drained: len=%d depth=%d", len(s.journal), s.jDepth)
+	}
+}
+
+func TestJournalKeepCommitsAndBumpsVersions(t *testing.T) {
+	s := threeSwitchState(t, 13)
+	fi := crossFlow(t, s)
+	f := s.flows[fi]
+	a, b := s.home[f.Src], s.home[f.Dst]
+	via := -1
+	for sw := range s.swProcs {
+		if sw != a && sw != b {
+			via = sw
+			break
+		}
+	}
+	pv, hv := versionsOf(s)
+	p := s.swProcs[via][0]
+
+	m := s.beginProbe()
+	r := s.arena.alloc(3)
+	r[0], r[1], r[2] = a, via, b
+	s.setRoute(fi, r)
+	s.reattach(p, a)
+	s.keep(m)
+
+	if s.home[p] != a || len(s.routes[fi]) != 3 {
+		t.Fatal("keep lost mutations")
+	}
+	if len(s.journal) != 0 || s.jDepth != 0 {
+		t.Fatalf("journal not truncated after outermost keep: len=%d depth=%d", len(s.journal), s.jDepth)
+	}
+	if s.homeVer[p] == hv[p] {
+		t.Fatal("keep did not bump moved proc's homeVer")
+	}
+	// Both the replaced direct route's pair and the new via route's pairs
+	// must be invalidated.
+	for _, pair := range [][2]int{{a, b}, {a, via}, {via, b}} {
+		if s.pairVer[s.widthIdx(pair[0], pair[1])] == pv[s.widthIdx(pair[0], pair[1])] {
+			t.Fatalf("keep did not bump pairVer for %v", pair)
+		}
+	}
+	checkStateInvariants(t, s)
+}
+
+func TestJournalInnerKeepOuterRollback(t *testing.T) {
+	s := threeSwitchState(t, 17)
+	fi := crossFlow(t, s)
+	before := snapshotFull(s)
+
+	m1 := s.beginProbe()
+	p := s.swProcs[s.home[s.flows[fi].Src]][0]
+	to := s.home[s.flows[fi].Dst]
+	s.reattachNoReroute(p, to)
+	m2 := s.beginProbe()
+	s.setRoute(fi, s.cachedDirect(s.home[s.flows[fi].Src], s.home[s.flows[fi].Dst]))
+	s.keep(m2) // inner keep must leave entries for the enclosing scope
+	s.rollback(m1)
+
+	if !equalSnapshots(before, snapshotFull(s)) {
+		t.Fatal("outer rollback could not undo inner-kept mutations")
+	}
+	checkStateInvariants(t, s)
+}
+
+func TestArenaChunkingAndRestore(t *testing.T) {
+	var a routeArena
+	mark := [2]int{a.ci, a.off}
+	var routes [][]int
+	// Cross several chunk boundaries.
+	for i := 0; i < 900; i++ {
+		r := a.alloc(3)
+		r[0], r[1], r[2] = i, i+1, i+2
+		routes = append(routes, r)
+	}
+	for i, r := range routes {
+		if r[0] != i || r[1] != i+1 || r[2] != i+2 {
+			t.Fatalf("route %d corrupted: %v", i, r)
+		}
+	}
+	if len(a.chunks) < 2 {
+		t.Fatalf("expected multiple chunks, got %d", len(a.chunks))
+	}
+	// Oversized allocations bypass the arena.
+	big := a.alloc(arenaChunkInts + 1)
+	if len(big) != arenaChunkInts+1 {
+		t.Fatal("oversized alloc wrong length")
+	}
+	ci, off := a.ci, a.off
+	big2 := a.alloc(arenaChunkInts + 5)
+	_ = big2
+	if a.ci != ci || a.off != off {
+		t.Fatal("oversized alloc consumed arena space")
+	}
+	// Pop to the mark and re-allocate: same storage, fresh values.
+	a.restore(mark[0], mark[1])
+	r := a.alloc(3)
+	if &r[0] != &routes[0][0] {
+		t.Fatal("restore did not pop to the mark")
+	}
+}
+
+func TestArenaRoutesSurviveGrowStride(t *testing.T) {
+	s := threeSwitchState(t, 19)
+	fi := crossFlow(t, s)
+	f := s.flows[fi]
+	a, b := s.home[f.Src], s.home[f.Dst]
+	via := 3 - a - b
+	if via < 0 || via >= len(s.swProcs) {
+		for sw := range s.swProcs {
+			if sw != a && sw != b {
+				via = sw
+			}
+		}
+	}
+	r := s.arena.alloc(3)
+	r[0], r[1], r[2] = a, via, b
+	s.setRoute(fi, r)
+	direct := s.cachedDirect(a, b)
+
+	oldStride := s.stride
+	s.growStride(oldStride * 2)
+	if s.stride <= oldStride {
+		t.Fatalf("stride did not grow: %d", s.stride)
+	}
+	got := s.routes[fi]
+	if len(got) != 3 || got[0] != a || got[1] != via || got[2] != b {
+		t.Fatalf("arena route lost across growStride: %v", got)
+	}
+	// Cached headers are remapped to the new stride and still shared.
+	if d2 := s.cachedDirect(a, b); &d2[0] != &direct[0] {
+		t.Fatal("cached direct header not remapped in place")
+	}
+	checkStateInvariants(t, s)
+}
+
+func TestStatePoolResetReproducible(t *testing.T) {
+	p := trace.BuildPhased("pool", 8, []trace.PhaseSpec{
+		{Flows: []model.Flow{model.F(0, 1), model.F(2, 3), model.F(4, 5), model.F(6, 7)}, Bytes: 64},
+		{Flows: []model.Flow{model.F(1, 4), model.F(3, 6), model.F(5, 0), model.F(7, 2)}, Bytes: 64},
+	})
+	k := newKernel(p, model.MaxCliqueSet(p))
+	run := func() fullSnapshot {
+		s := newState(k, Options{Seed: 3}.Normalized(), 3, &Stats{})
+		defer s.release()
+		s.partition()
+		checkStateInvariants(t, s)
+		return snapshotFull(s)
+	}
+	first := run()
+	for rep := 0; rep < 3; rep++ {
+		if got := run(); !equalSnapshots(first, got) {
+			t.Fatalf("pooled rerun %d diverged from first run", rep)
+		}
+	}
+}
+
+// TestMoveEngineRandomEquivalence drives a reference-engine state and an
+// incremental-engine state through the same randomized interleaving of
+// splits, reattaches, move/swap probes, anneal and greedy optimization, and
+// global refinement, and requires identical deltas, stats, and full state at
+// every step.
+func TestMoveEngineRandomEquivalence(t *testing.T) {
+	phases := []trace.PhaseSpec{
+		{Flows: []model.Flow{model.F(0, 1), model.F(2, 3), model.F(4, 5), model.F(6, 7), model.F(8, 9)}, Bytes: 64},
+		{Flows: []model.Flow{model.F(1, 4), model.F(3, 6), model.F(5, 8), model.F(7, 0), model.F(9, 2)}, Bytes: 64},
+		{Flows: []model.Flow{model.F(0, 5), model.F(1, 6), model.F(2, 7), model.F(3, 8)}, Bytes: 32},
+	}
+	for trial := 0; trial < 8; trial++ {
+		seed := int64(trial)
+		pat := trace.BuildPhased("eq", 10, phases)
+		cliques := model.MaxCliqueSet(pat)
+		optRef := Options{Seed: seed, ReferenceMoveEngine: true}
+		optNew := Options{Seed: seed}
+		if trial%2 == 1 {
+			optRef.Anneal = AnnealConfig{InitialTemp: 2, Cooling: 0.9, Steps: 24}
+			optNew.Anneal = optRef.Anneal
+		}
+		sref := newState(newKernel(pat, cliques), optRef.Normalized(), seed, &Stats{})
+		snew := newState(newKernel(pat, cliques), optNew.Normalized(), seed, &Stats{})
+
+		check := func(op string) {
+			t.Helper()
+			if !equalSnapshots(snapshotFull(sref), snapshotFull(snew)) {
+				t.Fatalf("trial %d: state diverged after %s", trial, op)
+			}
+			if *sref.stats != *snew.stats {
+				t.Fatalf("trial %d: stats diverged after %s:\nref=%+v\nnew=%+v",
+					trial, op, *sref.stats, *snew.stats)
+			}
+			checkStateInvariants(t, snew)
+		}
+
+		rng := rand.New(rand.NewSource(seed*31 + 7))
+		for op := 0; op < 40; op++ {
+			switch rng.Intn(6) {
+			case 0:
+				var eligible []int
+				for sw, procs := range sref.swProcs {
+					if len(procs) >= 2 {
+						eligible = append(eligible, sw)
+					}
+				}
+				if len(eligible) > 0 && len(sref.swProcs) < 6 {
+					sw := eligible[rng.Intn(len(eligible))]
+					i1 := sref.split(sw)
+					i2 := snew.split(sw)
+					if i1 != i2 {
+						t.Fatalf("split returned different switch IDs %d vs %d", i1, i2)
+					}
+					check("split")
+				}
+			case 1:
+				p := rng.Intn(10)
+				to := rng.Intn(len(sref.swProcs))
+				if to != sref.home[p] {
+					sref.reattach(p, to)
+					snew.reattach(p, to)
+					check("reattach")
+				}
+			case 2:
+				p := rng.Intn(10)
+				to := rng.Intn(len(sref.swProcs))
+				if to != sref.home[p] {
+					d1 := sref.evalMove(p, to)
+					d2 := snew.evalMove(p, to)
+					if d1 != d2 {
+						t.Fatalf("trial %d: evalMove(%d,%d) delta %d vs %d", trial, p, to, d1, d2)
+					}
+					check("evalMove")
+				}
+			case 3:
+				if len(sref.swProcs) >= 2 {
+					i := rng.Intn(len(sref.swProcs))
+					j := rng.Intn(len(sref.swProcs))
+					if i != j {
+						sref.optimizeMoves(i, j)
+						snew.optimizeMoves(i, j)
+						check("optimizeMoves")
+					}
+				}
+			case 4:
+				sref.swapRefine()
+				snew.swapRefine()
+				check("swapRefine")
+			case 5:
+				sref.globalRefine()
+				snew.globalRefine()
+				check("globalRefine")
+			}
+		}
+		sref.release()
+		snew.release()
+	}
+}
+
+// TestSynthesizeReferenceEngineByteIdentical pins the incremental engine to
+// the reference engine end to end: full Synthesize runs must serialize to the
+// same bytes for representative workloads and option variants.
+func TestSynthesizeReferenceEngineByteIdentical(t *testing.T) {
+	pat, err := nas.Generate("CG", 16, quickNASConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := map[string]Options{
+		"default": {Seed: 1, Restarts: 2, Workers: 2},
+		"anneal":  {Seed: 2, Restarts: 2, Workers: 2, Anneal: AnnealConfig{InitialTemp: 2, Cooling: 0.95, Steps: 40}},
+		"greedy":  {Seed: 3, Restarts: 2, Workers: 2, GreedyFinalColoring: true},
+		"nobest":  {Seed: 4, Restarts: 2, Workers: 2, DisableBestRoute: true},
+	}
+	for name, opt := range variants {
+		newRes := synthOrDie(t, pat, opt)
+		refOpt := opt
+		refOpt.ReferenceMoveEngine = true
+		refRes := synthOrDie(t, pat, refOpt)
+		if !bytes.Equal(designBytes(t, newRes), designBytes(t, refRes)) {
+			t.Errorf("%s: incremental engine design differs from reference engine", name)
+		}
+		if newRes.Stats.MovesEvaluated != refRes.Stats.MovesEvaluated ||
+			newRes.Stats.MovesCommitted != refRes.Stats.MovesCommitted {
+			t.Errorf("%s: move stats differ: new %+v ref %+v", name, newRes.Stats, refRes.Stats)
+		}
+	}
+	// Seeded restart path.
+	base := synthOrDie(t, pat, Options{Seed: 1, Restarts: 2, Workers: 2})
+	sd := SeedFromDesign(base.Net, base.Table)
+	opt := Options{Seed: 9, Restarts: 2, Workers: 2, SeedDesign: sd}
+	refOpt := opt
+	refOpt.ReferenceMoveEngine = true
+	if !bytes.Equal(designBytes(t, synthOrDie(t, pat, opt)), designBytes(t, synthOrDie(t, pat, refOpt))) {
+		t.Error("seeded: incremental engine design differs from reference engine")
+	}
+}

@@ -92,7 +92,7 @@ func TestKernelEquivalenceNAS(t *testing.T) {
 			}
 
 			// dirStats width/quad on randomized routing states.
-			s := newState(pat, cliques, Options{Seed: 7}.Normalized(), 7, &Stats{})
+			s := newState(newKernel(pat, cliques), Options{Seed: 7}.Normalized(), 7, &Stats{})
 			for op := 0; op < 120; op++ {
 				switch rng.Intn(3) {
 				case 0:

@@ -259,6 +259,10 @@ func SynthesizeContext(ctx context.Context, p *model.Pattern, opt Options) (*Res
 	sp := obs.Span(opt.Obs, "synth.run")
 	defer sp.End()
 	cliques := model.MaxCliqueSet(p)
+	// The immutable per-pattern half of the search state (flow interning,
+	// conflict matrix, clique bitsets) is built once and shared read-only by
+	// every restart; the mutable half is pooled per restart.
+	kern := newKernel(p, cliques)
 
 	// runBatch computes restarts [from, from+n) concurrently. Errors are
 	// carried per-run rather than through Map so the in-order fold below
@@ -286,7 +290,7 @@ func SynthesizeContext(ctx context.Context, p *model.Pattern, opt Options) (*Res
 			if from+i >= opt.Restarts {
 				sd = nil
 			}
-			res, err := synthesizeOnce(ctx, p, cliques, opt, sd, opt.Seed+int64(from+i)*7919)
+			res, err := synthesizeOnce(ctx, p, kern, opt, sd, opt.Seed+int64(from+i)*7919)
 			rsp.End()
 			return runOut{res: res, err: err}, nil
 		})
@@ -402,9 +406,10 @@ func totalHops(t *routing.Table) int {
 	return h
 }
 
-func synthesizeOnce(ctx context.Context, p *model.Pattern, cliques []model.Clique, opt Options, sd *SeedDesign, seed int64) (*Result, error) {
+func synthesizeOnce(ctx context.Context, p *model.Pattern, kern *kernel, opt Options, sd *SeedDesign, seed int64) (*Result, error) {
 	stats := &Stats{}
-	s := newState(p, cliques, opt, seed, stats)
+	s := newState(kern, opt, seed, stats)
+	defer s.release()
 	s.ctx = ctx
 	if s.applySeed(sd) {
 		stats.SeededRestarts++
@@ -462,7 +467,7 @@ func synthesizeOnce(ctx context.Context, p *model.Pattern, cliques []model.Cliqu
 	res := &Result{
 		Net:            net,
 		Table:          table,
-		Cliques:        cliques,
+		Cliques:        kern.cliques,
 		ConstraintsMet: met,
 		ExactColoring:  exact,
 		Stats:          *stats,

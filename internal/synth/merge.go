@@ -8,7 +8,19 @@ const costSwitchWeight = 2 * costLinkWeight
 
 // liveSwitches counts switches that hold processors or carry traffic.
 func (s *state) liveSwitches() int {
-	live := make([]bool, len(s.swProcs))
+	n := len(s.swProcs)
+	var live []bool
+	if s.opt.ReferenceMoveEngine {
+		live = make([]bool, n)
+	} else if live = s.liveScratch; cap(live) < n {
+		live = make([]bool, n)
+		s.liveScratch = live
+	} else {
+		live = live[:n]
+		for i := range live {
+			live[i] = false
+		}
+	}
 	for sw, ps := range s.swProcs {
 		if len(ps) > 0 {
 			live[sw] = true
@@ -22,13 +34,13 @@ func (s *state) liveSwitches() int {
 			}
 		}
 	}
-	n := 0
+	c := 0
 	for _, l := range live {
 		if l {
-			n++
+			c++
 		}
 	}
-	return n
+	return c
 }
 
 // consolidationScore is the merge objective: the global weighted cost plus a
@@ -44,10 +56,16 @@ type stateSnapshot struct {
 }
 
 func (s *state) snapshot() stateSnapshot {
-	return stateSnapshot{
-		home:   append([]int(nil), s.home...),
-		routes: append([][]int(nil), s.routes...),
-	}
+	var snap stateSnapshot
+	s.snapshotInto(&snap)
+	return snap
+}
+
+// snapshotInto refills snap in place so the merge loop's per-pair snapshot
+// reuses one pair of backing arrays instead of allocating each attempt.
+func (s *state) snapshotInto(snap *stateSnapshot) {
+	snap.home = append(snap.home[:0], s.home...)
+	snap.routes = append(snap.routes[:0], s.routes...)
 }
 
 func (s *state) restore(snap stateSnapshot) {
@@ -69,6 +87,7 @@ func (s *state) restore(snap stateSnapshot) {
 // all-singleton solution into the paper's multi-processor switches.
 func (s *state) mergeRefine() bool {
 	changed := false
+	ref := s.opt.ReferenceMoveEngine
 	for a := range s.swProcs {
 		if len(s.swProcs[a]) == 0 {
 			continue
@@ -80,9 +99,18 @@ func (s *state) mergeRefine() bool {
 			if len(s.swProcs[a])+len(s.swProcs[b]) > s.opt.MaxProcsPerSwitch {
 				continue
 			}
-			snap := s.snapshot()
+			var snap stateSnapshot
+			var procs []int
+			if ref {
+				snap = s.snapshot()
+				procs = append([]int(nil), s.swProcs[b]...)
+			} else {
+				s.snapshotInto(&s.mergeSnap)
+				snap = s.mergeSnap
+				procs = append(s.mergeProcs[:0], s.swProcs[b]...)
+				s.mergeProcs = procs
+			}
 			before := s.consolidationScore()
-			procs := append([]int(nil), s.swProcs[b]...)
 			for _, p := range procs {
 				s.reattach(p, a)
 			}

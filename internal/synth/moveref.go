@@ -1,0 +1,203 @@
+package synth
+
+import (
+	"math"
+	"sort"
+)
+
+// The reference move engine: the original closure-based tryMove/trySwap and
+// the per-iteration candidate rebuilds, selected by
+// Options.ReferenceMoveEngine. It is output-inert — the incremental engine is
+// pinned byte-identical to it by the equivalence suite — and exists so the
+// perf-synth benchmark gate measures a real in-run ratio (the same playbook
+// as flitsim's retained cycle-stepping engine). Cost evaluation goes through
+// localCostRef, which recomputes direction stats and degrees the way the
+// pre-incremental engine did.
+
+// routeUndo captures route state for rollback.
+type routeUndo struct {
+	fi    int
+	route []int
+}
+
+// directRouteAlloc is the reference engine's directRoute: a freshly
+// allocated one- or two-switch path.
+func (s *state) directRouteAlloc(fi int) []int {
+	f := s.flows[fi]
+	a, b := s.home[f.Src], s.home[f.Dst]
+	if a == b {
+		return []int{a}
+	}
+	return []int{a, b}
+}
+
+// tryMove evaluates moving processor p to switch `to` (flows touching p
+// rerouted directly, per step 7's "assuming direct routes"), returning the
+// cost delta and an undo closure. The move is left applied; the caller
+// either keeps it or invokes undo.
+func (s *state) tryMove(p, to int) (delta int, undo func()) {
+	from := s.home[p]
+	var undos []routeUndo
+	pairs := s.pairScratch[:0]
+	for _, fi := range s.procFlows[p] {
+		r := s.routes[fi]
+		undos = append(undos, routeUndo{fi: fi, route: r})
+		pairs = addRoutePairs(pairs, r)
+	}
+	// Provisionally apply to discover the new direct routes' pipes.
+	s.reattach(p, to)
+	for _, fi := range s.procFlows[p] {
+		pairs = addRoutePairs(pairs, s.routes[fi])
+	}
+	sws := s.switchesOf(pairs, from, to)
+	after := s.localCostRef(pairs, sws)
+	undoFn := func() {
+		s.reattachNoReroute(p, from)
+		for _, u := range undos {
+			s.setRoute(u.fi, u.route)
+		}
+	}
+	// Measure "before" by undoing, then reapply.
+	undoFn()
+	before := s.localCostRef(pairs, sws)
+	s.reattach(p, to)
+	s.pairScratch = pairs[:0]
+	s.stats.MovesEvaluated++
+	return after - before, undoFn
+}
+
+// trySwap exchanges the homes of two processors, rerouting both procs'
+// flows directly, and reports the cost delta with an undo closure.
+func (s *state) trySwap(p, q int) (int, func()) {
+	sp, sq := s.home[p], s.home[q]
+	var undos []routeUndo
+	pairs := s.pairScratch[:0]
+	record := func(proc int) {
+		for _, fi := range s.procFlows[proc] {
+			r := s.routes[fi]
+			undos = append(undos, routeUndo{fi: fi, route: r})
+			pairs = addRoutePairs(pairs, r)
+		}
+	}
+	record(p)
+	record(q)
+	s.reattachNoReroute(p, sq)
+	s.reattachNoReroute(q, sp)
+	redirect := func(proc int) {
+		for _, fi := range s.procFlows[proc] {
+			s.setRoute(fi, s.directRoute(fi))
+		}
+	}
+	redirect(p)
+	redirect(q)
+	for _, proc := range []int{p, q} {
+		for _, fi := range s.procFlows[proc] {
+			pairs = addRoutePairs(pairs, s.routes[fi])
+		}
+	}
+	sws := s.switchesOf(pairs, sp, sq)
+	after := s.localCostRef(pairs, sws)
+	undo := func() {
+		s.reattachNoReroute(p, sp)
+		s.reattachNoReroute(q, sq)
+		// A flow touching both p and q is recorded twice with the same
+		// pre-swap route; restore each flow once.
+		for i := len(undos) - 1; i >= 0; i-- {
+			u := undos[i]
+			dup := false
+			for j := i + 1; j < len(undos); j++ {
+				if undos[j].fi == u.fi {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			s.setRoute(u.fi, u.route)
+		}
+	}
+	undo()
+	before := s.localCostRef(pairs, sws)
+	// Reapply.
+	s.reattachNoReroute(p, sq)
+	s.reattachNoReroute(q, sp)
+	redirect(p)
+	redirect(q)
+	s.pairScratch = pairs[:0]
+	s.stats.MovesEvaluated++
+	return after - before, undo
+}
+
+// optimizeMovesRef is the reference step 7-9 loop: the candidate slice is
+// rebuilt and re-sorted every iteration and every candidate is re-probed
+// from scratch with tryMove's apply/undo/recost/reapply round trip.
+func (s *state) optimizeMovesRef(i, j int) {
+	if s.opt.Anneal.InitialTemp > 0 {
+		s.annealMovesRef(i, j)
+	}
+	for iter := 0; iter < 4*s.procs; iter++ {
+		bestDelta := 0
+		bestProc, bestTo := -1, -1
+		candidates := append(append(s.candScratch[:0], s.swProcs[i]...), s.swProcs[j]...)
+		s.candScratch = candidates
+		sort.Ints(candidates)
+		for _, p := range candidates {
+			to := j
+			if s.home[p] == j {
+				to = i
+			}
+			if !s.balancedAfterMove(p, to, i, j) {
+				continue
+			}
+			delta, undo := s.tryMove(p, to)
+			undo()
+			if delta < bestDelta {
+				bestDelta = delta
+				bestProc, bestTo = p, to
+			}
+		}
+		if bestProc == -1 {
+			return
+		}
+		s.reattach(bestProc, bestTo)
+		s.stats.MovesCommitted++
+		if !s.opt.DisableBestRoute {
+			s.bestRoute([]int{i, j}, []int{i, j})
+		}
+	}
+}
+
+// annealMovesRef rebuilds the unsorted candidate slice on every step, even
+// when the step was a balance skip and nothing changed.
+func (s *state) annealMovesRef(i, j int) {
+	temp := s.opt.Anneal.InitialTemp
+	for step := 0; step < s.opt.Anneal.Steps && temp > 1e-3; step++ {
+		candidates := append(append(s.candScratch[:0], s.swProcs[i]...), s.swProcs[j]...)
+		s.candScratch = candidates
+		if len(candidates) == 0 {
+			return
+		}
+		p := candidates[s.rng.Intn(len(candidates))]
+		to := j
+		if s.home[p] == j {
+			to = i
+		}
+		if !s.balancedAfterMove(p, to, i, j) {
+			temp *= s.opt.Anneal.Cooling
+			continue
+		}
+		delta, undo := s.tryMove(p, to)
+		accept := delta < 0 || s.rng.Float64() < math.Exp(-float64(delta)/temp)
+		if accept {
+			s.stats.MovesCommitted++
+			if !s.opt.DisableBestRoute {
+				s.bestRoute([]int{i, j}, []int{i, j})
+			}
+		} else {
+			s.stats.MovesRejected++
+			undo()
+		}
+		temp *= s.opt.Anneal.Cooling
+	}
+}

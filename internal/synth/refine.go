@@ -56,85 +56,34 @@ func (s *state) rerouteAnneal(budget int) {
 	}
 }
 
-// trySwap exchanges the homes of two processors, rerouting both procs'
-// flows directly, and reports the cost delta with an undo closure.
-func (s *state) trySwap(p, q int) (int, func()) {
-	sp, sq := s.home[p], s.home[q]
-	var undos []routeUndo
-	pairs := s.pairScratch[:0]
-	record := func(proc int) {
-		for _, fi := range s.procFlows[proc] {
-			r := s.routes[fi]
-			undos = append(undos, routeUndo{fi: fi, route: r})
-			pairs = addRoutePairs(pairs, r)
-		}
-	}
-	record(p)
-	record(q)
-	s.reattachNoReroute(p, sq)
-	s.reattachNoReroute(q, sp)
-	redirect := func(proc int) {
-		for _, fi := range s.procFlows[proc] {
-			s.setRoute(fi, s.directRoute(fi))
-		}
-	}
-	redirect(p)
-	redirect(q)
-	for _, proc := range []int{p, q} {
-		for _, fi := range s.procFlows[proc] {
-			pairs = addRoutePairs(pairs, s.routes[fi])
-		}
-	}
-	sws := s.switchesOf(pairs, sp, sq)
-	after := s.localCost(pairs, sws)
-	undo := func() {
-		s.reattachNoReroute(p, sp)
-		s.reattachNoReroute(q, sq)
-		// A flow touching both p and q is recorded twice with the same
-		// pre-swap route; restore each flow once.
-		for i := len(undos) - 1; i >= 0; i-- {
-			u := undos[i]
-			dup := false
-			for j := i + 1; j < len(undos); j++ {
-				if undos[j].fi == u.fi {
-					dup = true
-					break
-				}
-			}
-			if dup {
-				continue
-			}
-			s.setRoute(u.fi, u.route)
-		}
-	}
-	undo()
-	before := s.localCost(pairs, sws)
-	// Reapply.
-	s.reattachNoReroute(p, sq)
-	s.reattachNoReroute(q, sp)
-	redirect(p)
-	redirect(q)
-	s.pairScratch = pairs[:0]
-	s.stats.MovesEvaluated++
-	return after - before, undo
-}
-
 // swapRefine looks for improving processor exchanges between any two
 // switches — relocations alone cannot explore placements where every switch
 // is at its processor or degree budget.
 func (s *state) swapRefine() bool {
 	changed := false
+	ref := s.opt.ReferenceMoveEngine
 	for p := 0; p < s.procs; p++ {
 		for q := p + 1; q < s.procs; q++ {
 			if s.home[p] == s.home[q] {
 				continue
 			}
-			delta, undo := s.trySwap(p, q)
+			if ref {
+				delta, undo := s.trySwap(p, q)
+				if delta < 0 {
+					s.stats.MovesCommitted++
+					changed = true
+				} else {
+					undo()
+				}
+				continue
+			}
+			delta, m := s.applySwap(p, q)
 			if delta < 0 {
+				s.keep(m)
 				s.stats.MovesCommitted++
 				changed = true
 			} else {
-				undo()
+				s.rollback(m)
 			}
 		}
 	}

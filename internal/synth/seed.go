@@ -225,7 +225,7 @@ func (s *state) applySeed(sd *SeedDesign) bool {
 			if !valid || buf[0] != s.home[f.Src] || buf[len(buf)-1] != s.home[f.Dst] {
 				continue
 			}
-			s.setRoute(fi, append([]int(nil), buf...))
+			s.setRoute(fi, s.persistRoute(buf))
 		}
 	}
 
@@ -252,11 +252,7 @@ func (s *state) applySeed(sd *SeedDesign) bool {
 		// The replay left estimated violations (the trace diverged more
 		// than the segment diff suggested): fall back to the full route
 		// polish before partition() resorts to splitting.
-		all := make([]int, len(s.swProcs))
-		for i := range all {
-			all[i] = i
-		}
-		s.bestRoute(all, nil)
+		s.bestRoute(s.allSwitches(), nil)
 		s.eliminatePipes()
 		s.backboneReroute()
 	}
@@ -267,11 +263,7 @@ func (s *state) applySeed(sd *SeedDesign) bool {
 // nil means "unknown" and selects every switch.
 func (s *state) changedSwitches(changed []int) []int {
 	if changed == nil {
-		all := make([]int, len(s.swProcs))
-		for i := range all {
-			all[i] = i
-		}
-		return all
+		return s.allSwitches()
 	}
 	seen := make(map[int]bool, len(changed))
 	var sws []int

@@ -13,7 +13,7 @@ func testState(t *testing.T, procs int, phases []trace.PhaseSpec, seed int64) *s
 	t.Helper()
 	p := trace.BuildPhased("t", procs, phases)
 	cliques := model.MaxCliqueSet(p)
-	return newState(p, cliques, Options{Seed: seed}.Normalized(), seed, &Stats{})
+	return newState(newKernel(p, cliques), Options{Seed: seed}.Normalized(), seed, &Stats{})
 }
 
 // fid resolves a flow to its dense ID, failing the test if it is unknown.

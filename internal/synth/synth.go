@@ -74,6 +74,14 @@ type Options struct {
 	GreedyFinalColoring bool
 	// MaxRounds bounds the outer partition-finalize loop (default 16).
 	MaxRounds int
+	// ReferenceMoveEngine selects the original closure-based move
+	// evaluation (apply/undo/recost/reapply probes, per-iteration candidate
+	// rebuilds, uncached cost recomputation) instead of the incremental
+	// journal/gain-cache engine. Output-inert: both engines produce
+	// byte-identical designs (pinned by the engine-equivalence suite), so
+	// the flag is excluded from OptionsFingerprint. It exists for the
+	// equivalence suite and the perf-synth in-run speedup ratio.
+	ReferenceMoveEngine bool
 	// SeedDesign, when non-nil, warm-starts the configured restarts from a
 	// prior design's switch tree instead of the root megaswitch (see
 	// SeedDesign). Extension restarts — the ones drawn only while no run
@@ -174,33 +182,57 @@ func (s *Stats) add(t Stats) {
 // and the serialized output) identical to the historical map-and-sort
 // implementation.
 type state struct {
-	procs      int
-	cliques    []model.Clique
-	idx        *model.FlowIndex      // flow ⇄ dense ID (per-pattern)
-	conflict   *model.ConflictMatrix // C as per-flow conflict rows
-	cliqueBits []model.BitSet        // clique -> member flow IDs
-	flows      []model.Flow          // flow ID -> Flow (sorted; shared with idx)
-	revID      []int                 // flow ID -> reverse flow's ID, or -1
-	procFlows  [][]int               // processor -> flow IDs touching it
+	*kernel // immutable per-pattern data, shared across restarts
 
 	home    []int   // processor -> switch
 	swProcs [][]int // switch -> processors
 	swDepth []int   // switch -> bisection level (root megaswitch = 0)
-	routes  [][]int // flow ID -> switch path
+	routes  [][]int // flow ID -> switch path (immutable headers)
 
-	// Pipes and the estWidth memo are dense stride×stride matrices over
-	// switch indices (grown as splits add switches): pipes[from*stride+to]
-	// is the ordered direction's flow-ID set, pipeCount its cardinality,
-	// widthCache the unordered pair's memo (-1 = invalid) stored at a<b.
-	stride     int
-	pipes      []model.BitSet
-	pipeCount  []int32
-	widthCache []int32
+	// Pipes and the incremental cost caches are dense stride×stride
+	// matrices over switch indices (grown as splits add switches), indexed
+	// at from*stride+to for directions and at a*stride+b with a<b for
+	// unordered pairs: pipes is the direction's flow-ID set, pipeCount its
+	// cardinality, dirW/dirQ the direction's memoized Fast_Color width and
+	// quad load (dirW -1 = invalid), pairW the pair width memo whose
+	// invalidations queue on dirty until flushDirty folds them into sumW —
+	// the per-switch width sums that make estDegree O(1).
+	stride    int
+	pipes     []model.BitSet
+	pipeCount []int32
+	dirW      []int32
+	dirQ      []int64
+	pairW     []int32
+	sumW      []int64
+	dirty     []dirtyPair
+
+	// Gain-cache guards: bumped only by committed mutations (probes defer
+	// bumps to keep and roll them back otherwise).
+	pairVer []uint32 // pipe-pair content version, at a*stride+b with a<b
+	homeVer []uint32 // processor placement version
+
+	// Undo journal and route arena (engine.go).
+	journal []journalEntry
+	jDepth  int
+	arena   routeArena
+
+	// Shared immutable direct-route headers: selfRoute[a] = [a],
+	// pairRoute[a*stride+b] = [a,b]; contents depend only on the indices,
+	// so they survive pooling and are remapped by growStride.
+	selfRoute [][]int
+	pairRoute [][]int
+
+	// Per-candidate cached move gains for the optimizeMoves loop.
+	gains []moveGain
 
 	totalHops int
+	src       rand.Source
 	rng       *rand.Rand
 	opt       Options
 	stats     *Stats
+	// bsWords is the word capacity the pooled pipe bitsets were created
+	// with; reset() drops them when a new kernel needs more.
+	bsWords int
 	// seedFast marks a warm-started state whose trace structure is
 	// identical to its seed's and whose replay left no estimated
 	// violations: partition() skips the globalRefine polish once (the
@@ -215,52 +247,28 @@ type state struct {
 
 	// Reusable scratch for cost evaluation; helpers fully consume them
 	// before returning (no nesting), so one buffer each suffices.
-	pairScratch [][2]int
-	swScratch   []int
-	idScratch   []int
-	nbrScratch  []int
-	candScratch []int
-	revScratch  []int
+	pairScratch  [][2]int
+	swScratch    []int
+	idScratch    []int
+	nbrScratch   []int
+	candScratch  []int
+	revScratch   []int
+	allScratch   []int   // allSwitches
+	splitScratch []int   // split's shuffle copy
+	allProcs     []int   // backs swProcs[0] after reset
+	touchBuf     [2]int  // optimizeMoves' bestRoute touch/via list
+	gcPairs      [][2]int // globalCost's traffic-pair list
+	liveScratch  []bool  // liveSwitches
+	mergeSnap    stateSnapshot
+	mergeProcs   []int
+	routeSnap    [][]int // backboneReroute's route snapshot
 }
 
-func newState(p *model.Pattern, cliques []model.Clique, opt Options, seed int64, stats *Stats) *state {
-	idx := model.NewFlowIndex(model.CliqueFlows(cliques))
-	nf := idx.Len()
-	s := &state{
-		procs:      p.Procs,
-		cliques:    cliques,
-		idx:        idx,
-		conflict:   model.ConflictMatrixFromCliques(idx, cliques),
-		cliqueBits: idx.CliqueBits(cliques),
-		flows:      idx.Flows(),
-		revID:      make([]int, nf),
-		procFlows:  make([][]int, p.Procs),
-		home:       make([]int, p.Procs),
-		routes:     make([][]int, nf),
-		rng:        rand.New(rand.NewSource(seed)),
-		opt:        opt,
-		stats:      stats,
-	}
-	s.growStride(8)
-	all := make([]int, p.Procs)
-	s.swProcs = [][]int{all}
-	s.swDepth = []int{0}
-	for i := range all {
-		all[i] = i
-	}
-	for fi, f := range s.flows {
-		if ri, ok := idx.ID(f.Reverse()); ok {
-			s.revID[fi] = ri
-		} else {
-			s.revID[fi] = -1
-		}
-		s.procFlows[f.Src] = append(s.procFlows[f.Src], fi)
-		if f.Dst != f.Src {
-			s.procFlows[f.Dst] = append(s.procFlows[f.Dst], fi)
-		}
-		s.routes[fi] = []int{0}
-	}
-	return s
+// dirtyPair queues a pair-width invalidation for flushDirty: the pair's
+// switches (IDs, so entries survive growStride) and the width sumW last
+// accounted for it.
+type dirtyPair struct {
+	a, b, old int32
 }
 
 func pairKey(a, b int) [2]int {
@@ -286,8 +294,11 @@ func (s *state) widthIdx(a, b int) int {
 	return a*s.stride + b
 }
 
-// growStride resizes the dense pipe/width matrices to hold at least n
-// switches, preserving pipe contents and memoized widths.
+// growStride resizes the dense pipe/cache matrices to hold at least n
+// switches, preserving pipe contents, memoized stats, versions, and route
+// headers. New direction cells start valid-empty (width 0, quad 0) and new
+// pair cells at width 0, which is consistent with sumW: a never-used pipe
+// contributes nothing.
 func (s *state) growStride(n int) {
 	if n <= s.stride {
 		return
@@ -301,55 +312,57 @@ func (s *state) growStride(n int) {
 	}
 	pipes := make([]model.BitSet, stride*stride)
 	count := make([]int32, stride*stride)
-	width := make([]int32, stride*stride)
-	for i := range width {
-		width[i] = -1
-	}
+	dirW := make([]int32, stride*stride)
+	dirQ := make([]int64, stride*stride)
+	pairW := make([]int32, stride*stride)
+	pairVer := make([]uint32, stride*stride)
+	pairRoute := make([][]int, stride*stride)
 	for a := 0; a < s.stride; a++ {
 		for b := 0; b < s.stride; b++ {
-			pipes[a*stride+b] = s.pipes[a*s.stride+b]
-			count[a*stride+b] = s.pipeCount[a*s.stride+b]
-			width[a*stride+b] = s.widthCache[a*s.stride+b]
+			o, n := a*s.stride+b, a*stride+b
+			pipes[n] = s.pipes[o]
+			count[n] = s.pipeCount[o]
+			dirW[n] = s.dirW[o]
+			dirQ[n] = s.dirQ[o]
+			pairW[n] = s.pairW[o]
+			pairVer[n] = s.pairVer[o]
+			pairRoute[n] = s.pairRoute[o]
 		}
 	}
-	s.stride, s.pipes, s.pipeCount, s.widthCache = stride, pipes, count, width
+	s.stride = stride
+	s.pipes, s.pipeCount = pipes, count
+	s.dirW, s.dirQ, s.pairW, s.pairVer, s.pairRoute = dirW, dirQ, pairW, pairVer, pairRoute
+	sumW := make([]int64, stride)
+	copy(sumW, s.sumW)
+	s.sumW = sumW
+	selfRoute := make([][]int, stride)
+	copy(selfRoute, s.selfRoute)
+	s.selfRoute = selfRoute
 }
 
-// setRoute replaces a flow's route, maintaining the per-pipe flow sets and
-// total hop count.
+// setRoute replaces a flow's route, maintaining the per-pipe flow sets,
+// caches, and total hop count. Committed calls (no open probe) bump the
+// gain-cache versions of every pair the old and new routes cross; probed
+// calls journal the old header for rollback/keep instead.
 func (s *state) setRoute(fi int, route []int) {
-	if old := s.routes[fi]; old != nil {
-		for i := 1; i < len(old); i++ {
-			pi := old[i-1]*s.stride + old[i]
-			s.pipes[pi].Clear(fi)
-			s.pipeCount[pi]--
-			s.widthCache[s.widthIdx(old[i-1], old[i])] = -1
-		}
-		s.totalHops -= len(old) - 1
+	if s.jDepth > 0 {
+		s.journal = append(s.journal, journalEntry{kind: jeRoute, a: int32(fi), route: s.routes[fi]})
+	} else {
+		s.bumpRoutePairs(s.routes[fi])
+		s.bumpRoutePairs(route)
 	}
-	s.routes[fi] = route
-	for i := 1; i < len(route); i++ {
-		pi := route[i-1]*s.stride + route[i]
-		set := s.pipes[pi]
-		if set == nil {
-			set = model.NewBitSet(len(s.flows))
-			s.pipes[pi] = set
-		}
-		set.Set(fi)
-		s.pipeCount[pi]++
-		s.widthCache[s.widthIdx(route[i-1], route[i])] = -1
-	}
-	s.totalHops += len(route) - 1
+	s.setRouteRaw(fi, route)
 }
 
-// directRoute is the one-pipe path between the endpoints' home switches.
+// directRoute is the one-pipe path between the endpoints' home switches: a
+// shared cached header (incremental engine) or a fresh allocation
+// (reference engine).
 func (s *state) directRoute(fi int) []int {
-	f := s.flows[fi]
-	a, b := s.home[f.Src], s.home[f.Dst]
-	if a == b {
-		return []int{a}
+	if s.opt.ReferenceMoveEngine {
+		return s.directRouteAlloc(fi)
 	}
-	return []int{a, b}
+	f := s.flows[fi]
+	return s.cachedDirect(s.home[f.Src], s.home[f.Dst])
 }
 
 // split performs step 5 of the main algorithm: create a new switch and move
@@ -363,7 +376,8 @@ func (s *state) split(sw int) int {
 		s.stats.MaxDepth = d
 	}
 	s.growStride(len(s.swProcs))
-	ps := append([]int(nil), s.swProcs[sw]...)
+	ps := append(s.splitScratch[:0], s.swProcs[sw]...)
+	s.splitScratch = ps
 	s.rng.Shuffle(len(ps), func(a, b int) { ps[a], ps[b] = ps[b], ps[a] })
 	half := len(ps) / 2
 	for _, p := range ps[:half] {
@@ -383,24 +397,15 @@ func (s *state) reattach(p, to int) {
 }
 
 // reattachNoReroute moves the processor without touching routes (used by
-// undo, which restores routes explicitly).
+// undo/rollback, which restore routes explicitly). Committed calls bump the
+// processor's placement version; probed calls journal the old home.
 func (s *state) reattachNoReroute(p, to int) {
-	from := s.home[p]
-	procs := s.swProcs[from]
-	for i, q := range procs {
-		if q == p {
-			s.swProcs[from] = append(procs[:i], procs[i+1:]...)
-			break
-		}
+	if s.jDepth > 0 {
+		s.journal = append(s.journal, journalEntry{kind: jeAttach, a: int32(p), b: int32(s.home[p])})
+	} else {
+		s.homeVer[p]++
 	}
-	s.home[p] = to
-	s.swProcs[to] = append(s.swProcs[to], p)
-}
-
-// routeUndo captures route state for rollback.
-type routeUndo struct {
-	fi    int
-	route []int
+	s.moveProcRaw(p, to)
 }
 
 // addPair appends the canonical unordered pair (a,b) to pairs if absent.
@@ -450,39 +455,15 @@ func (s *state) switchesOf(pairs [][2]int, extra ...int) []int {
 	return sws
 }
 
-// tryMove evaluates moving processor p to switch `to` (flows touching p
-// rerouted directly, per step 7's "assuming direct routes"), returning the
-// cost delta and an undo closure. The move is left applied; the caller
-// either keeps it or invokes undo.
-func (s *state) tryMove(p, to int) (delta int, undo func()) {
-	from := s.home[p]
-	var undos []routeUndo
-	pairs := s.pairScratch[:0]
-	for _, fi := range s.procFlows[p] {
-		r := s.routes[fi]
-		undos = append(undos, routeUndo{fi: fi, route: r})
-		pairs = addRoutePairs(pairs, r)
+// evalMove measures the cost delta of moving p to `to` without changing the
+// state (beyond the reference-identical end-of-list permutation of p).
+func (s *state) evalMove(p, to int) int {
+	if s.opt.ReferenceMoveEngine {
+		delta, undo := s.tryMove(p, to)
+		undo()
+		return delta
 	}
-	// Provisionally apply to discover the new direct routes' pipes.
-	s.reattach(p, to)
-	for _, fi := range s.procFlows[p] {
-		pairs = addRoutePairs(pairs, s.routes[fi])
-	}
-	sws := s.switchesOf(pairs, from, to)
-	after := s.localCost(pairs, sws)
-	undoFn := func() {
-		s.reattachNoReroute(p, from)
-		for _, u := range undos {
-			s.setRoute(u.fi, u.route)
-		}
-	}
-	// Measure "before" by undoing, then reapply.
-	undoFn()
-	before := s.localCost(pairs, sws)
-	s.reattach(p, to)
-	s.pairScratch = pairs[:0]
-	s.stats.MovesEvaluated++
-	return after - before, undoFn
+	return s.probeMove(p, to)
 }
 
 // balancedAfterMove checks the Appendix's step 8 balance rule: a move must
@@ -511,15 +492,25 @@ func (s *state) balancedAfterMove(p, to int, i, j int) bool {
 // (or, with annealing enabled, a temperature-accepted random move), calling
 // Best_Route after each commit.
 func (s *state) optimizeMoves(i, j int) {
+	if s.opt.ReferenceMoveEngine {
+		s.optimizeMovesRef(i, j)
+		return
+	}
 	if s.opt.Anneal.InitialTemp > 0 {
 		s.annealMoves(i, j)
+	}
+	// The candidate set is the union of the two halves, which commits can
+	// only permute (moves stay between i and j), so the sorted list is
+	// built once for the whole loop instead of per iteration.
+	candidates := append(append(s.candScratch[:0], s.swProcs[i]...), s.swProcs[j]...)
+	s.candScratch = candidates
+	sort.Ints(candidates)
+	for _, p := range candidates {
+		s.gains[p].valid = false
 	}
 	for iter := 0; iter < 4*s.procs; iter++ {
 		bestDelta := 0
 		bestProc, bestTo := -1, -1
-		candidates := append(append(s.candScratch[:0], s.swProcs[i]...), s.swProcs[j]...)
-		s.candScratch = candidates
-		sort.Ints(candidates)
 		for _, p := range candidates {
 			to := j
 			if s.home[p] == j {
@@ -528,8 +519,16 @@ func (s *state) optimizeMoves(i, j int) {
 			if !s.balancedAfterMove(p, to, i, j) {
 				continue
 			}
-			delta, undo := s.tryMove(p, to)
-			undo()
+			var delta int
+			if g := &s.gains[p]; s.gainFresh(g, p, to) {
+				delta = s.gainDelta(g)
+				s.stats.MovesEvaluated++
+				// Replay the probe's list permutation so swProcs order
+				// stays identical to the reference engine's.
+				s.moveProcToEnd(p)
+			} else {
+				delta = s.probeMoveGain(p, to)
+			}
 			if delta < bestDelta {
 				bestDelta = delta
 				bestProc, bestTo = p, to
@@ -541,19 +540,28 @@ func (s *state) optimizeMoves(i, j int) {
 		s.reattach(bestProc, bestTo)
 		s.stats.MovesCommitted++
 		if !s.opt.DisableBestRoute {
-			s.bestRoute([]int{i, j}, []int{i, j})
+			s.touchBuf[0], s.touchBuf[1] = i, j
+			s.bestRoute(s.touchBuf[:], s.touchBuf[:])
 		}
 	}
 }
 
 // annealMoves performs temperature-accepted random moves before the greedy
 // descent — the "simulated annealing technique" of Section 3 generalizing
-// the Appendix's greedy loop.
+// the Appendix's greedy loop. The candidate slice is rebuilt only after a
+// step that evaluated a move: even a rejected probe nets the processor to
+// the end of its home list, so only balance-skipped steps leave the concat
+// order (and hence the RNG-indexed draw) unchanged.
 func (s *state) annealMoves(i, j int) {
 	temp := s.opt.Anneal.InitialTemp
+	refresh := true
+	var candidates []int
 	for step := 0; step < s.opt.Anneal.Steps && temp > 1e-3; step++ {
-		candidates := append(append(s.candScratch[:0], s.swProcs[i]...), s.swProcs[j]...)
-		s.candScratch = candidates
+		if refresh {
+			candidates = append(append(s.candScratch[:0], s.swProcs[i]...), s.swProcs[j]...)
+			s.candScratch = candidates
+			refresh = false
+		}
 		if len(candidates) == 0 {
 			return
 		}
@@ -566,17 +574,20 @@ func (s *state) annealMoves(i, j int) {
 			temp *= s.opt.Anneal.Cooling
 			continue
 		}
-		delta, undo := s.tryMove(p, to)
+		delta, m := s.applyMove(p, to)
 		accept := delta < 0 || s.rng.Float64() < math.Exp(-float64(delta)/temp)
 		if accept {
+			s.keep(m)
 			s.stats.MovesCommitted++
 			if !s.opt.DisableBestRoute {
-				s.bestRoute([]int{i, j}, []int{i, j})
+				s.touchBuf[0], s.touchBuf[1] = i, j
+				s.bestRoute(s.touchBuf[:], s.touchBuf[:])
 			}
 		} else {
 			s.stats.MovesRejected++
-			undo()
+			s.rollback(m)
 		}
+		refresh = true
 		temp *= s.opt.Anneal.Cooling
 	}
 }
@@ -594,11 +605,7 @@ func (s *state) globalRefine() {
 		}
 		changed := false
 		if !s.opt.DisableBestRoute {
-			all := make([]int, len(s.swProcs))
-			for i := range all {
-				all[i] = i
-			}
-			s.bestRoute(all, nil)
+			s.bestRoute(s.allSwitches(), nil)
 			if s.eliminatePipes() {
 				changed = true
 			}
@@ -613,8 +620,7 @@ func (s *state) globalRefine() {
 				if len(s.swProcs[to]) >= s.opt.MaxProcsPerSwitch {
 					continue
 				}
-				delta, undo := s.tryMove(p, to)
-				undo()
+				delta := s.evalMove(p, to)
 				if delta < bestDelta {
 					bestDelta = delta
 					bestTo = to
