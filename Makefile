@@ -4,7 +4,7 @@
 # reduction cannot pass by luck.
 GO ?= go
 
-.PHONY: verify vet build test race determinism fleet cover-serve cover-collective bench bench-synth bench-obs bench-flitsim bench-warm perf-synth bench-all fuzz
+.PHONY: verify vet build test race determinism fleet cover-serve cover-collective cover-hier bench bench-synth bench-obs bench-flitsim bench-warm perf-synth bench-all fuzz
 
 verify: vet build race determinism
 
@@ -49,6 +49,17 @@ cover-collective:
 	$(GO) tool cover -func=cover_collective.out | tee COVER_collective.txt
 	@total=$$($(GO) tool cover -func=cover_collective.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
 	echo "internal/collective line coverage: $$total% (floor 85%)"; \
+	awk "BEGIN {exit !($$total >= 85.0)}" || { echo "FAIL: coverage $$total% below the 85% floor"; exit 1; }
+
+# cover-hier is the two-level chiplet coverage gate: the spec/partition/
+# split suites, the golden designs, the flatten/replay tests, and the
+# determinism pins must keep internal/hier at >= 85% line coverage. Writes
+# COVER_hier.txt for the CI artifact.
+cover-hier:
+	$(GO) test -count=1 -coverprofile=cover_hier.out ./internal/hier/
+	$(GO) tool cover -func=cover_hier.out | tee COVER_hier.txt
+	@total=$$($(GO) tool cover -func=cover_hier.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "internal/hier line coverage: $$total% (floor 85%)"; \
 	awk "BEGIN {exit !($$total >= 85.0)}" || { echo "FAIL: coverage $$total% below the 85% floor"; exit 1; }
 
 # bench-synth runs the synthesis hot-path benchmarks with allocation stats
@@ -124,3 +135,4 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParseTrace -fuzztime 30s ./internal/trace
 	$(GO) test -run '^$$' -fuzz FuzzFingerprint -fuzztime 30s ./internal/trace
 	$(GO) test -run '^$$' -fuzz FuzzCollectiveConfig -fuzztime 30s ./internal/collective
+	$(GO) test -run '^$$' -fuzz FuzzPartition -fuzztime 30s ./internal/hier

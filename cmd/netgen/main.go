@@ -1,10 +1,13 @@
 // Command netgen applies the paper's design methodology to a communication
 // trace, printing (and optionally saving) the generated minimal
-// low-contention network.
+// low-contention network. With -clusters it synthesizes a two-level chiplet
+// design instead: one NoC per cluster plus an inter-chiplet NoI, saved as a
+// hier-design v1 document.
 //
 // Usage:
 //
 //	netgen -trace trace.txt [-maxdegree 5] [-maxprocs 4] [-seed 1] [-restarts 4] [-workers 0] [-o net.json] [-report run.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	netgen -trace trace.txt -clusters flow:4 [-max-gateways 0] [-gateway-width 1] [-noi-link-delay 2] [-noi-maxdegree 5] [-noi-maxprocs 4] [-o hier.json]
 package main
 
 import (
@@ -14,6 +17,8 @@ import (
 
 	"repro/internal/cliutil"
 	"repro/internal/floorplan"
+	"repro/internal/hier"
+	"repro/internal/model"
 	"repro/internal/synth"
 	"repro/internal/trace"
 )
@@ -31,6 +36,7 @@ func main() {
 	shared.RegisterWorkers(flag.CommandLine)
 	shared.RegisterProfiles(flag.CommandLine)
 	shared.RegisterReport(flag.CommandLine)
+	shared.RegisterHier(flag.CommandLine)
 	flag.Parse()
 	stopProfiles, err := shared.StartProfiles()
 	if err != nil {
@@ -54,13 +60,24 @@ func main() {
 		fatal(err)
 	}
 
-	res, err := synth.Synthesize(pat, synth.Options{
+	opt := synth.Options{
 		Constraints: synth.Constraints{MaxDegree: *maxDeg, MaxProcsPerSwitch: *maxProcs},
 		Seed:        shared.Seed,
 		Restarts:    *restarts,
 		Workers:     shared.Workers,
 		Obs:         shared.Observer(),
-	})
+	}
+	if shared.Clusters != "" {
+		if err := runHier(pat, opt, &shared, *out); err != nil {
+			fatal(err)
+		}
+		if err := shared.WriteReport("netgen", trace.Summarize(pat)); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	res, err := synth.Synthesize(pat, opt)
 	if err != nil {
 		fatal(err)
 	}
@@ -104,6 +121,59 @@ func main() {
 	if err := shared.WriteReport("netgen", trace.Summarize(pat)); err != nil {
 		fatal(err)
 	}
+}
+
+// runHier synthesizes and reports a two-level chiplet design: one NoC per
+// cluster, one NoI over the gateways, hier-design v1 on -o.
+func runHier(pat *model.Pattern, base synth.Options, shared *cliutil.Flags, out string) error {
+	spec, err := hier.ParseSpec(shared.Clusters)
+	if err != nil {
+		return err
+	}
+	noi := base
+	if shared.NoIMaxDegree != 0 {
+		noi.MaxDegree = shared.NoIMaxDegree
+	}
+	if shared.NoIMaxProcs != 0 {
+		noi.MaxProcsPerSwitch = shared.NoIMaxProcs
+	}
+	d, err := hier.Synthesize(pat, hier.Options{
+		Spec:         spec,
+		MaxGateways:  shared.MaxGateways,
+		GatewayWidth: shared.GatewayWidth,
+		NoILinkDelay: shared.NoILinkDelay,
+		NoC:          base,
+		NoI:          noi,
+		Obs:          shared.Observer(),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pattern %s: %d processors, %d flows\n", pat.Name, pat.Procs, len(pat.Flows()))
+	fmt.Printf("two-level design: %d clusters, %d switches, %d links (gateway pipes included)\n",
+		len(d.Assign.Clusters), d.TotalSwitches(), d.TotalLinks())
+	fmt.Printf("contention-free at every level (Theorem 1, C ∩ R = ∅): %v\n", d.ContentionFree())
+	for c, lv := range d.Chiplets {
+		fmt.Printf("  chiplet %d: procs %v, gateways %v, %d switches, %d links, contention-free %v\n",
+			c, d.Assign.Clusters[c], d.Assign.Gateways[c],
+			lv.Net.NumSwitches(), lv.Net.TotalLinks(), lv.Result.ContentionFree)
+	}
+	if d.NoI != nil {
+		fmt.Printf("  noi: %d gateway endpoints, %d switches, %d links, contention-free %v\n",
+			d.Assign.NoIProcs, d.NoI.Net.NumSwitches(), d.NoI.Net.TotalLinks(), d.NoI.Result.ContentionFree)
+	}
+	if out != "" {
+		of, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer of.Close()
+		if err := hier.SaveDesign(of, d); err != nil {
+			return err
+		}
+		fmt.Printf("hier-design (all levels + clustering) written to %s\n", out)
+	}
+	return nil
 }
 
 func fatal(err error) {

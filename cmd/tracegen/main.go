@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/cliutil"
 	"repro/internal/collective"
+	"repro/internal/hier"
 	"repro/internal/model"
 	"repro/internal/nas"
 	"repro/internal/trace"
@@ -34,6 +35,7 @@ func main() {
 	flag.IntVar(procs, "n", 16, "alias for -procs")
 	shared.RegisterSeed(flag.CommandLine, "seed for the skew model")
 	shared.RegisterReport(flag.CommandLine)
+	shared.RegisterHier(flag.CommandLine)
 	flag.Parse()
 
 	var pat *model.Pattern
@@ -72,9 +74,61 @@ func main() {
 	st := trace.Summarize(pat)
 	fmt.Fprintf(os.Stderr, "%s: %d procs, %d messages, %d phases, %d contention periods (%d maximal), |C|=%d\n",
 		pat.Name, st.Procs, st.Messages, st.Phases, st.Periods, st.MaxPeriods, st.ContentionSz)
+	if shared.Clusters != "" {
+		if err := emitSplit(pat, &shared, *out); err != nil {
+			fatal(err)
+		}
+	}
 	if err := shared.WriteReport("tracegen", st); err != nil {
 		fatal(err)
 	}
+}
+
+// emitSplit partitions the trace per -clusters, prints per-level summaries,
+// and — when -o named a file — writes each chiplet's sub-trace next to it
+// as <out>.c<i> and the gateway-remapped NoI trace as <out>.noi.
+func emitSplit(pat *model.Pattern, shared *cliutil.Flags, out string) error {
+	spec, err := hier.ParseSpec(shared.Clusters)
+	if err != nil {
+		return err
+	}
+	a, err := hier.Partition(pat, spec, shared.MaxGateways)
+	if err != nil {
+		return err
+	}
+	s, err := hier.SplitPattern(pat, a)
+	if err != nil {
+		return err
+	}
+	write := func(sub *model.Pattern, path string) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return trace.Encode(f, sub)
+	}
+	for c, sub := range s.Chiplets {
+		sst := trace.Summarize(sub)
+		fmt.Fprintf(os.Stderr, "  chiplet %d (procs %v, gateways %v): %d messages, |C|=%d\n",
+			c, a.Clusters[c], a.Gateways[c], sst.Messages, sst.ContentionSz)
+		if out != "" {
+			if err := write(sub, fmt.Sprintf("%s.c%d", out, c)); err != nil {
+				return err
+			}
+		}
+	}
+	if s.NoI != nil {
+		nst := trace.Summarize(s.NoI)
+		fmt.Fprintf(os.Stderr, "  noi (%d gateway endpoints): %d messages (%d inter-cluster), |C|=%d\n",
+			a.NoIProcs, nst.Messages, s.InterMessages, nst.ContentionSz)
+		if out != "" {
+			if err := write(s.NoI, out+".noi"); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -56,6 +56,28 @@ func RunCrossbar(pat *model.Pattern, cfg Config) (Result, error) {
 	return Run(pat, net, XBar{}, cfg)
 }
 
+// RunHier replays a flattened two-level (chiplet) design: the composite
+// network and hierarchical source routes produced by package hier, where
+// switch IDs at or past noiStart form the inter-chiplet (NoI) block. Links
+// inside a chiplet cost one cycle; links with an endpoint in the NoI block
+// — NoI internal links and the gateway pipes that cross the chiplet
+// boundary — cost noiDelay cycles, modeling the longer inter-chiplet wires.
+// A caller-supplied cfg.LinkDelay wins over this two-class model.
+func RunHier(pat *model.Pattern, net *topology.Network, table *routing.Table, noiStart topology.SwitchID, noiDelay int, cfg Config) (Result, error) {
+	if cfg.LinkDelay == nil {
+		if noiDelay < 1 {
+			noiDelay = 1
+		}
+		cfg.LinkDelay = func(a, b topology.SwitchID) int {
+			if a >= noiStart || b >= noiStart {
+				return noiDelay
+			}
+			return 1
+		}
+	}
+	return RunGenerated(pat, net, table, cfg)
+}
+
 // RunGenerated simulates the pattern on a synthesized network using its
 // source-routing table. Flows present in the pattern but missing from the
 // table (e.g. when running a different application on the network, as in the

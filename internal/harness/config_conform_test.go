@@ -7,6 +7,7 @@ import (
 	"repro/internal/collective"
 	"repro/internal/flitsim"
 	"repro/internal/floorplan"
+	"repro/internal/hier"
 	"repro/internal/nas"
 	"repro/internal/obs"
 	"repro/internal/synth"
@@ -25,6 +26,7 @@ func TestKnobStructsConform(t *testing.T) {
 		floorplan.Options{},
 		nas.Config{},
 		collective.Config{},
+		hier.Options{},
 	} {
 		typ := reflect.TypeOf(v)
 		name := typ.String()

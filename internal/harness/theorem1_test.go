@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/collective"
 	"repro/internal/model"
+	"repro/internal/routing"
 	"repro/internal/topology"
 )
 
@@ -27,10 +28,18 @@ func verifyTheorem1(t *testing.T, label string, d *Design) {
 		t.Errorf("%s: design not reported contention-free", label)
 		return
 	}
+	verifyTheorem1Routes(t, label, d.Pattern, d.Result.Table.Routes)
+}
+
+// verifyTheorem1Routes is the level-generic core of the Theorem 1 check: it
+// works from a pattern and raw routes alone, so it applies equally to a flat
+// design, a single chiplet's NoC, or the NoI of a two-level composite.
+func verifyTheorem1Routes(t *testing.T, label string, pat *model.Pattern, routes map[model.Flow]routing.Route) {
+	t.Helper()
 
 	// C: flow pairs with any temporally overlapping messages.
 	byFlow := make(map[model.Flow][]model.Message)
-	for _, m := range d.Pattern.Messages {
+	for _, m := range pat.Messages {
 		byFlow[m.Flow()] = append(byFlow[m.Flow()], m)
 	}
 	overlaps := func(f, g model.Flow) bool {
@@ -48,7 +57,7 @@ func verifyTheorem1(t *testing.T, label string, d *Design) {
 	// routing table's switches and link indices.
 	chansOf := make(map[model.Flow]map[channel]bool)
 	var flows []model.Flow
-	for f, r := range d.Result.Table.Routes {
+	for f, r := range routes {
 		set := make(map[channel]bool)
 		for i := 1; i < len(r.Switches); i++ {
 			set[channel{from: r.Switches[i-1], to: r.Switches[i], link: r.Links[i-1]}] = true

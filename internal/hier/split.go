@@ -1,0 +1,139 @@
+package hier
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/trace"
+)
+
+// FlowPath describes how one original flow decomposes across the two levels.
+// Intra flows live entirely inside one chiplet. Inter flows ride the NoI
+// between gateway endpoints, with an optional forwarding leg on each side
+// when the flow's own endpoint is not a gateway. With the default boundary
+// gateways both legs vanish: the source itself injects into the NoI and the
+// destination ejects from it.
+type FlowPath struct {
+	Intra   bool
+	Cluster int        // intra: the owning chiplet
+	Local   model.Flow // intra: the flow in chiplet-local processor IDs
+
+	SrcCluster, DstCluster int
+	OutGW, InGW            int         // inter: gateway processors (global IDs)
+	LegOut                 *model.Flow // inter: src→gateway in SrcCluster's local IDs, nil when src is the gateway
+	NoI                    model.Flow  // inter: the flow in NoI endpoint IDs
+	LegIn                  *model.Flow // inter: gateway→dst in DstCluster's local IDs, nil when dst is the gateway
+}
+
+// Split is the per-level decomposition of one pattern under an Assignment.
+type Split struct {
+	Assign *Assignment
+	// Chiplets[c] is cluster c's sub-pattern in local processor IDs,
+	// holding its intra-cluster messages plus any forwarding legs.
+	Chiplets []*model.Pattern
+	// NoI is the inter-chiplet sub-pattern over gateway endpoints; nil
+	// when the assignment has a single cluster (no NoI level).
+	NoI *model.Pattern
+	// Flows maps every original flow to its decomposition.
+	Flows map[model.Flow]FlowPath
+	// InterMessages counts original messages that cross clusters.
+	InterMessages int
+}
+
+// pathFor decomposes one flow. Gateway choice is per-flow deterministic: a
+// non-gateway endpoint forwards through its cluster's gateway selected by
+// the peer cluster's index, spreading concurrent inter-cluster flows across
+// the gateway set.
+func pathFor(a *Assignment, f model.Flow) FlowPath {
+	ca, cb := a.Of[f.Src], a.Of[f.Dst]
+	if ca == cb {
+		return FlowPath{
+			Intra:   true,
+			Cluster: ca,
+			Local:   model.F(a.Local[f.Src], a.Local[f.Dst]),
+		}
+	}
+	fp := FlowPath{SrcCluster: ca, DstCluster: cb}
+	fp.OutGW = f.Src
+	if a.NoIID[f.Src] < 0 {
+		gws := a.Gateways[ca]
+		fp.OutGW = gws[cb%len(gws)]
+		leg := model.F(a.Local[f.Src], a.Local[fp.OutGW])
+		fp.LegOut = &leg
+	}
+	fp.InGW = f.Dst
+	if a.NoIID[f.Dst] < 0 {
+		gws := a.Gateways[cb]
+		fp.InGW = gws[ca%len(gws)]
+		leg := model.F(a.Local[fp.InGW], a.Local[f.Dst])
+		fp.LegIn = &leg
+	}
+	fp.NoI = model.F(a.NoIID[fp.OutGW], a.NoIID[fp.InGW])
+	return fp
+}
+
+// SplitPattern decomposes a pattern under an assignment: each chiplet keeps
+// its intra-cluster messages (in local processor IDs) plus forwarding legs
+// of inter-cluster messages whose local endpoint is not a gateway, and the
+// NoI carries every inter-cluster message remapped onto gateway endpoints.
+// Each level message copies its original's timing and payload, so an
+// inter-cluster message's bytes cross the NoI exactly once.
+func SplitPattern(p *model.Pattern, a *Assignment) (*Split, error) {
+	if p.Procs != a.Procs {
+		return nil, fmt.Errorf("hier: pattern has %d procs, assignment %d", p.Procs, a.Procs)
+	}
+	s := &Split{
+		Assign: a,
+		Flows:  make(map[model.Flow]FlowPath),
+	}
+	for _, m := range p.Messages {
+		f := m.Flow()
+		if _, ok := s.Flows[f]; !ok {
+			s.Flows[f] = pathFor(a, f)
+		}
+		if !s.Flows[f].Intra {
+			s.InterMessages++
+		}
+	}
+	for c, members := range a.Clusters {
+		cc := c
+		s.Chiplets = append(s.Chiplets, trace.Project(
+			p,
+			fmt.Sprintf("%s.c%d", p.Name, c),
+			len(members),
+			func(_ int, m model.Message) *model.Message {
+				fp := s.Flows[m.Flow()]
+				switch {
+				case fp.Intra && fp.Cluster == cc:
+					nm := m
+					nm.Src, nm.Dst = fp.Local.Src, fp.Local.Dst
+					return &nm
+				case !fp.Intra && fp.SrcCluster == cc && fp.LegOut != nil:
+					nm := m
+					nm.Src, nm.Dst = fp.LegOut.Src, fp.LegOut.Dst
+					return &nm
+				case !fp.Intra && fp.DstCluster == cc && fp.LegIn != nil:
+					nm := m
+					nm.Src, nm.Dst = fp.LegIn.Src, fp.LegIn.Dst
+					return &nm
+				}
+				return nil
+			}))
+	}
+	if len(a.Clusters) > 1 {
+		s.NoI = trace.Project(
+			p,
+			p.Name+".noi",
+			a.NoIProcs,
+			func(_ int, m model.Message) *model.Message {
+				fp := s.Flows[m.Flow()]
+				if fp.Intra {
+					return nil
+				}
+				nm := m
+				nm.Src, nm.Dst = fp.NoI.Src, fp.NoI.Dst
+				return &nm
+			})
+	}
+	return s, nil
+}

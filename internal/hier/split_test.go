@@ -1,0 +1,183 @@
+package hier
+
+import (
+	"testing"
+
+	"repro/internal/collective"
+	"repro/internal/model"
+)
+
+func ring64(t testing.TB) *model.Pattern {
+	t.Helper()
+	p, err := collective.Generate("ring-allreduce", 64, collective.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestSplitConservation is the flit-byte conservation law of the gateway
+// remapping: every inter-cluster message crosses the NoI exactly once with
+// its full payload and timing, every intra-cluster message lands in exactly
+// one chiplet, and no level invents traffic. Message counts and byte totals
+// must reconcile exactly — no loss, no duplication at gateways.
+func TestSplitConservation(t *testing.T) {
+	for _, tc := range []struct {
+		pat  *model.Pattern
+		spec string
+	}{
+		{cg16(t), "blocks:4"},
+		{cg16(t), "flow:4"},
+		{ring64(t), "blocks:4"},
+		{cg16(t), "blocks:4"}, // repeated on purpose: split must be pure
+	} {
+		sp, err := ParseSpec(tc.spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := Partition(tc.pat, sp, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := SplitPattern(tc.pat, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sub := range append(append([]*model.Pattern{}, s.Chiplets...), s.NoI) {
+			if sub == nil {
+				continue
+			}
+			if err := sub.Validate(); err != nil {
+				t.Fatalf("%s %s: invalid sub-pattern: %v", tc.pat.Name, tc.spec, err)
+			}
+		}
+
+		var interMsgs, interBytes int
+		intraByCluster := make([]int, len(a.Clusters))
+		for _, m := range tc.pat.Messages {
+			if a.Of[m.Src] == a.Of[m.Dst] {
+				intraByCluster[a.Of[m.Src]]++
+			} else {
+				interMsgs++
+				interBytes += m.Bytes
+			}
+		}
+		if s.NoI == nil {
+			t.Fatalf("%s %s: no NoI pattern", tc.pat.Name, tc.spec)
+		}
+		// Exactly one NoI message per inter-cluster message, bytes intact.
+		if len(s.NoI.Messages) != interMsgs {
+			t.Errorf("%s %s: %d NoI messages for %d inter-cluster messages",
+				tc.pat.Name, tc.spec, len(s.NoI.Messages), interMsgs)
+		}
+		if got := s.NoI.TotalBytes(); got != interBytes {
+			t.Errorf("%s %s: NoI carries %d bytes, inter-cluster traffic is %d",
+				tc.pat.Name, tc.spec, got, interBytes)
+		}
+		if s.InterMessages != interMsgs {
+			t.Errorf("%s %s: InterMessages=%d, want %d", tc.pat.Name, tc.spec, s.InterMessages, interMsgs)
+		}
+		// Chiplets hold their intra messages plus forwarding legs only.
+		for c, sub := range s.Chiplets {
+			legs := 0
+			for f, fp := range s.Flows {
+				if fp.Intra {
+					continue
+				}
+				var n int
+				for _, m := range tc.pat.Messages {
+					if m.Flow() == f {
+						n++
+					}
+				}
+				if fp.SrcCluster == c && fp.LegOut != nil {
+					legs += n
+				}
+				if fp.DstCluster == c && fp.LegIn != nil {
+					legs += n
+				}
+			}
+			if len(sub.Messages) != intraByCluster[c]+legs {
+				t.Errorf("%s %s: chiplet %d has %d messages, want %d intra + %d legs",
+					tc.pat.Name, tc.spec, c, len(sub.Messages), intraByCluster[c], legs)
+			}
+		}
+		// With uncapped boundary gateways there are no forwarding legs at
+		// all: inter-cluster endpoints are their own gateways.
+		for f, fp := range s.Flows {
+			if fp.Intra {
+				continue
+			}
+			if fp.LegOut != nil || fp.LegIn != nil {
+				t.Errorf("%s %s: flow %v has forwarding legs under boundary gateways", tc.pat.Name, tc.spec, f)
+			}
+			if fp.OutGW != f.Src || fp.InGW != f.Dst {
+				t.Errorf("%s %s: flow %v gateways (%d,%d), want its own endpoints", tc.pat.Name, tc.spec, f, fp.OutGW, fp.InGW)
+			}
+		}
+		// Timing is copied verbatim: the NoI sub-pattern spans exactly the
+		// inter-cluster messages' window.
+		for _, m := range s.NoI.Messages {
+			if m.Finish < m.Start || m.Bytes < 0 {
+				t.Errorf("%s %s: NoI message %v malformed", tc.pat.Name, tc.spec, m)
+			}
+		}
+		// Phase structure mirrors the original at every level.
+		for _, sub := range s.Chiplets {
+			if len(sub.Phases) != len(tc.pat.Phases) {
+				t.Errorf("%s %s: chiplet %s has %d phases, original %d",
+					tc.pat.Name, tc.spec, sub.Name, len(sub.Phases), len(tc.pat.Phases))
+			}
+		}
+		if len(s.NoI.Phases) != len(tc.pat.Phases) {
+			t.Errorf("%s %s: NoI has %d phases, original %d", tc.pat.Name, tc.spec, len(s.NoI.Phases), len(tc.pat.Phases))
+		}
+	}
+}
+
+// TestSplitCappedGatewaysForwarding pins the forwarding-leg path: with one
+// gateway per cluster, non-gateway endpoints forward through it, and the
+// conservation law still holds (legs carry the payload to the gateway, the
+// NoI still carries each inter-cluster message exactly once).
+func TestSplitCappedGatewaysForwarding(t *testing.T) {
+	pat := cg16(t)
+	sp, _ := ParseSpec("blocks:4")
+	a, err := Partition(pat, sp, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := SplitPattern(pat, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var interMsgs int
+	for _, m := range pat.Messages {
+		if a.Of[m.Src] != a.Of[m.Dst] {
+			interMsgs++
+		}
+	}
+	if len(s.NoI.Messages) != interMsgs {
+		t.Fatalf("%d NoI messages for %d inter-cluster messages", len(s.NoI.Messages), interMsgs)
+	}
+	sawLeg := false
+	for f, fp := range s.Flows {
+		if fp.Intra {
+			continue
+		}
+		if a.NoIID[f.Src] < 0 {
+			if fp.LegOut == nil {
+				t.Errorf("flow %v: non-gateway source without forwarding leg", f)
+			}
+			sawLeg = true
+		}
+		if a.NoIID[f.Dst] < 0 && fp.LegIn == nil {
+			t.Errorf("flow %v: non-gateway destination without forwarding leg", f)
+		}
+		if a.Of[fp.OutGW] != fp.SrcCluster || a.Of[fp.InGW] != fp.DstCluster {
+			t.Errorf("flow %v: gateways in wrong clusters", f)
+		}
+	}
+	if !sawLeg {
+		t.Error("cap 1 produced no forwarding legs on CG-16")
+	}
+}

@@ -18,12 +18,21 @@ import (
 // lines, blank lines, and whitespace variations never split the cache;
 // reordering message lines does produce a distinct key, which costs at most
 // a duplicate synthesis, never a wrong answer.
-func Key(p *model.Pattern, opt synth.Options) string {
+//
+// Extra fingerprint components (NUL-separated, in order) extend the key for
+// request families beyond flat synthesis — a hierarchical request appends
+// its canonical cluster spec and per-level knobs, so flat keys are unchanged
+// and differently spelled but equivalent cluster specs share an entry.
+func Key(p *model.Pattern, opt synth.Options, extra ...string) string {
 	h := sha256.New()
 	// Encode writes to an in-memory hash and cannot fail.
 	_ = trace.Encode(h, p)
 	io.WriteString(h, "\x00")
 	io.WriteString(h, OptionsFingerprint(opt))
+	for _, e := range extra {
+		io.WriteString(h, "\x00")
+		io.WriteString(h, e)
+	}
 	return "sha256:" + hex.EncodeToString(h.Sum(nil))
 }
 

@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"repro/internal/collective"
+	"repro/internal/hier"
 	"repro/internal/model"
 	"repro/internal/nas"
 	"repro/internal/obs"
@@ -169,6 +170,25 @@ type DesignRequest struct {
 	MaxDegree int   `json:"max_degree,omitempty"`
 	MaxProcs  int   `json:"max_procs,omitempty"`
 	Restarts  int   `json:"restarts,omitempty"`
+
+	// Hier, when present, asks for a two-level chiplet design instead of a
+	// flat one: the pattern is partitioned per Clusters, each chiplet's NoC
+	// and the inter-chiplet NoI are synthesized independently, and the
+	// response's design document is hier-design v1 rather than design v1.
+	Hier *HierRequest `json:"hier,omitempty"`
+}
+
+// HierRequest configures two-level synthesis. Clusters uses the hier
+// cluster-spec grammar ("4", "flow:4", "blocks:4", or explicit
+// "0-3;4-7@4,7" groups); the NoI knobs override the flat synthesis knobs
+// for the inter-chiplet level only.
+type HierRequest struct {
+	Clusters     string `json:"clusters"`
+	MaxGateways  int    `json:"max_gateways,omitempty"`
+	GatewayWidth int    `json:"gateway_width,omitempty"`
+	NoILinkDelay int    `json:"noi_link_delay,omitempty"`
+	NoIMaxDegree int    `json:"noi_max_degree,omitempty"`
+	NoIMaxProcs  int    `json:"noi_max_procs,omitempty"`
 }
 
 // DesignResponse is the /v1/design response body. Cached requests replay
@@ -191,6 +211,21 @@ type DesignResponse struct {
 	Design         json.RawMessage `json:"design"`
 	Stats          synth.Stats     `json:"stats"`
 	Report         *obs.RunReport  `json:"report"`
+	// Hier summarizes the two-level structure when the request carried a
+	// hier block; flat responses omit it. Design then holds hier-design v1.
+	Hier *HierSummary `json:"hier,omitempty"`
+}
+
+// HierSummary is the response-side digest of a two-level design.
+type HierSummary struct {
+	// Clusters is the canonical cluster spec the partition satisfied.
+	Clusters     string  `json:"clusters"`
+	ClusterCount int     `json:"cluster_count"`
+	Gateways     [][]int `json:"gateways"`
+	GatewayWidth int     `json:"gateway_width"`
+	NoILinkDelay int     `json:"noi_link_delay"`
+	NoISwitches  int     `json:"noi_switches"`
+	NoILinks     int     `json:"noi_links"`
 }
 
 // errQueueFull rejects work when MaxInFlight syntheses are executing and
@@ -340,12 +375,17 @@ func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
 // alreadyForwarded marks a request a peer relayed here; it is then always
 // handled locally (single-hop loop protection).
 func (s *Server) resolve(ctx context.Context, raw []byte, alreadyForwarded bool) itemResult {
-	pat, opt, lane, err := s.parseDesignRequest(raw)
+	pat, opt, hp, lane, err := s.parseDesignRequest(raw)
 	if err != nil {
 		return s.errorResult(ctx, "", err)
 	}
 	obs.Count(s.col, "serve.lane_"+lane, 1)
-	key := Key(pat, opt)
+	var key string
+	if hp != nil {
+		key = Key(pat, opt, hp.fingerprint())
+	} else {
+		key = Key(pat, opt)
+	}
 
 	if ent, ok := s.lookup(key); ok {
 		obs.Count(s.col, "serve.cache_hit", 1)
@@ -359,7 +399,7 @@ func (s *Server) resolve(ctx context.Context, raw []byte, alreadyForwarded bool)
 
 	reqCol := obs.NewCollector()
 	ent, err, shared := s.flights.Do(ctx, key, func(runCtx context.Context) (*Entry, error) {
-		return s.synthesize(runCtx, key, pat, opt, lane, reqCol)
+		return s.synthesize(runCtx, key, pat, opt, hp, lane, reqCol)
 	})
 	if err != nil {
 		return s.errorResult(ctx, key, err)
@@ -473,16 +513,57 @@ func badRequest(format string, args ...any) error {
 	return &badRequestError{err: fmt.Errorf(format, args...)}
 }
 
+// hierParams is the parsed form of a request's hier block: the cluster spec
+// plus the per-level knobs, already validated at the grammar level (the
+// partition itself can still fail against the concrete pattern, which the
+// synthesis path maps to a client error).
+type hierParams struct {
+	spec         *hier.Spec
+	maxGateways  int
+	gatewayWidth int
+	noiLinkDelay int
+	noiMaxDegree int
+	noiMaxProcs  int
+}
+
+// fingerprint renders the hier knobs for the cache key. The spec goes in
+// canonically, so "4", "flow:4", and a reordered explicit spelling of the
+// same groups share an entry.
+func (hp *hierParams) fingerprint() string {
+	return fmt.Sprintf("hier=%s maxgw=%d gww=%d noidelay=%d noimaxdeg=%d noimaxprocs=%d",
+		hp.spec.Canonical(), hp.maxGateways, hp.gatewayWidth, hp.noiLinkDelay, hp.noiMaxDegree, hp.noiMaxProcs)
+}
+
+// options builds the two-level synthesis options: both levels inherit the
+// flat request knobs, with the NoI overrides applied on top.
+func (hp *hierParams) options(base synth.Options) hier.Options {
+	noi := base
+	if hp.noiMaxDegree != 0 {
+		noi.MaxDegree = hp.noiMaxDegree
+	}
+	if hp.noiMaxProcs != 0 {
+		noi.MaxProcsPerSwitch = hp.noiMaxProcs
+	}
+	return hier.Options{
+		Spec:         hp.spec,
+		MaxGateways:  hp.maxGateways,
+		GatewayWidth: hp.gatewayWidth,
+		NoILinkDelay: hp.noiLinkDelay,
+		NoC:          base,
+		NoI:          noi,
+	}
+}
+
 // parseDesignRequest decodes and validates the body, builds the pattern,
-// and resolves the effective synthesis options and admission lane. All
-// failures are client errors.
-func (s *Server) parseDesignRequest(raw []byte) (*model.Pattern, synth.Options, string, error) {
+// and resolves the effective synthesis options, the optional hier block,
+// and the admission lane. All failures are client errors.
+func (s *Server) parseDesignRequest(raw []byte) (*model.Pattern, synth.Options, *hierParams, string, error) {
 	var opt synth.Options
 	dec := json.NewDecoder(bytes.NewReader(raw))
 	dec.DisallowUnknownFields()
 	var req DesignRequest
 	if err := dec.Decode(&req); err != nil {
-		return nil, opt, "", badRequest("decoding request: %v", err)
+		return nil, opt, nil, "", badRequest("decoding request: %v", err)
 	}
 
 	lane := req.Lane
@@ -491,30 +572,30 @@ func (s *Server) parseDesignRequest(raw []byte) (*model.Pattern, synth.Options, 
 		lane = LaneInteractive
 	case LaneBulk:
 	default:
-		return nil, opt, "", badRequest("unknown lane %q (want %q or %q)", req.Lane, LaneInteractive, LaneBulk)
+		return nil, opt, nil, "", badRequest("unknown lane %q (want %q or %q)", req.Lane, LaneInteractive, LaneBulk)
 	}
 
 	var pat *model.Pattern
 	switch {
 	case req.Benchmark != "" && req.Trace != "":
-		return nil, opt, "", badRequest("benchmark and trace are mutually exclusive")
+		return nil, opt, nil, "", badRequest("benchmark and trace are mutually exclusive")
 	case req.Benchmark != "":
 		if req.Procs <= 0 {
-			return nil, opt, "", badRequest("benchmark requests need procs > 0, got %d", req.Procs)
+			return nil, opt, nil, "", badRequest("benchmark requests need procs > 0, got %d", req.Procs)
 		}
 		p, err := s.generateWorkload(req)
 		if err != nil {
-			return nil, opt, "", err
+			return nil, opt, nil, "", err
 		}
 		pat = p
 	case req.Trace != "":
 		p, err := trace.Decode(strings.NewReader(req.Trace))
 		if err != nil {
-			return nil, opt, "", badRequest("decoding trace: %v", err)
+			return nil, opt, nil, "", badRequest("decoding trace: %v", err)
 		}
 		pat = p
 	default:
-		return nil, opt, "", badRequest("request needs a benchmark or an inline trace")
+		return nil, opt, nil, "", badRequest("request needs a benchmark or an inline trace")
 	}
 
 	opt = s.cfg.Synth
@@ -531,9 +612,33 @@ func (s *Server) parseDesignRequest(raw []byte) (*model.Pattern, synth.Options, 
 		opt.Restarts = req.Restarts
 	}
 	if opt.Restarts < 0 || opt.Restarts > 64 {
-		return nil, opt, "", badRequest("restarts %d outside [1, 64]", opt.Restarts)
+		return nil, opt, nil, "", badRequest("restarts %d outside [1, 64]", opt.Restarts)
 	}
-	return pat, opt, lane, nil
+
+	var hp *hierParams
+	if req.Hier != nil {
+		h := req.Hier
+		if h.Clusters == "" {
+			return nil, opt, nil, "", badRequest("hier requests need a clusters spec")
+		}
+		spec, err := hier.ParseSpec(h.Clusters)
+		if err != nil {
+			return nil, opt, nil, "", &badRequestError{err: err}
+		}
+		if h.MaxGateways < 0 || h.GatewayWidth < 0 || h.NoILinkDelay < 0 ||
+			h.NoIMaxDegree < 0 || h.NoIMaxProcs < 0 {
+			return nil, opt, nil, "", badRequest("hier knobs must be non-negative")
+		}
+		hp = &hierParams{
+			spec:         spec,
+			maxGateways:  h.MaxGateways,
+			gatewayWidth: h.GatewayWidth,
+			noiLinkDelay: h.NoILinkDelay,
+			noiMaxDegree: h.NoIMaxDegree,
+			noiMaxProcs:  h.NoIMaxProcs,
+		}
+	}
+	return pat, opt, hp, lane, nil
 }
 
 // generateWorkload resolves a named workload against the NAS registry
@@ -623,7 +728,7 @@ func (s *Server) releaseBulk() { <-s.bulkSem }
 // synthesis itself under the request context plus server budget, response
 // rendering, and the write-through store. The lane is the leader's — a
 // request joining an in-flight call shares its result regardless of lane.
-func (s *Server) synthesize(runCtx context.Context, key string, pat *model.Pattern, opt synth.Options, lane string, reqCol *obs.Collector) (*Entry, error) {
+func (s *Server) synthesize(runCtx context.Context, key string, pat *model.Pattern, opt synth.Options, hp *hierParams, lane string, reqCol *obs.Collector) (*Entry, error) {
 	obs.Count(s.col, "serve.cache_miss", 1)
 	if lane == LaneBulk {
 		if err := s.acquireBulk(); err != nil {
@@ -645,6 +750,10 @@ func (s *Server) synthesize(runCtx context.Context, key string, pat *model.Patte
 		defer cancel()
 	}
 	opt.Obs = obs.Tee(s.col, reqCol, s.cfg.Synth.Obs)
+
+	if hp != nil {
+		return s.synthesizeHier(key, pat, opt, hp, reqCol)
+	}
 
 	// Warm-start: on this exact-key miss, seed from the structurally nearest
 	// cached design when one is close enough. The key was computed from the
@@ -710,6 +819,99 @@ func (s *Server) synthesize(runCtx context.Context, key string, pat *model.Patte
 		}
 	}
 	return ent, nil
+}
+
+// synthesizeHier is the two-level leader body: partition, per-level
+// synthesis, and a hier-design v1 response. Hierarchical entries skip the
+// warm-start index (its seeds describe flat switch trees, not composites)
+// and are stored with a nil fingerprint so they never seed flat requests.
+// Partition failures against the concrete pattern — an unsatisfiable
+// cluster count, members out of range — are client errors.
+func (s *Server) synthesizeHier(key string, pat *model.Pattern, opt synth.Options, hp *hierParams, reqCol *obs.Collector) (*Entry, error) {
+	hopt := hp.options(opt)
+	hopt.Obs = opt.Obs
+	d, err := hier.Synthesize(pat, hopt)
+	if err != nil {
+		var se *hier.SpecError
+		if errors.As(err, &se) {
+			return nil, &badRequestError{err: err}
+		}
+		return nil, err
+	}
+	obs.Count(s.col, "serve.hier_designs", 1)
+
+	var design bytes.Buffer
+	if err := hier.SaveDesign(&design, d); err != nil {
+		return nil, fmt.Errorf("serve: rendering hier design: %w", err)
+	}
+	constraintsMet, exact := true, true
+	var stats synth.Stats
+	levels := append([]*hier.Level{}, d.Chiplets...)
+	if d.NoI != nil {
+		levels = append(levels, d.NoI)
+	}
+	for _, lv := range levels {
+		constraintsMet = constraintsMet && lv.Result.ConstraintsMet
+		exact = exact && lv.Result.ExactColoring
+		addStats(&stats, lv.Result.Stats)
+	}
+	summary := &HierSummary{
+		Clusters:     hp.spec.Canonical(),
+		ClusterCount: len(d.Assign.Clusters),
+		Gateways:     d.Assign.Gateways,
+		GatewayWidth: d.GatewayWidth,
+		NoILinkDelay: d.NoILinkDelay,
+	}
+	if d.NoI != nil {
+		summary.NoISwitches = d.NoI.Net.NumSwitches()
+		summary.NoILinks = d.NoI.Net.TotalLinks()
+	}
+	rep := reqCol.Report("nocd")
+	rep.Pattern = trace.Summarize(pat)
+	resp := DesignResponse{
+		Schema:         ResponseSchema,
+		Version:        ResponseVersion,
+		PatternHash:    key,
+		Name:           d.Name,
+		Procs:          d.Procs,
+		ConstraintsMet: constraintsMet,
+		ContentionFree: d.ContentionFree(),
+		ExactColoring:  exact,
+		Switches:       d.TotalSwitches(),
+		Links:          d.TotalLinks(),
+		Design:         json.RawMessage(design.Bytes()),
+		Stats:          stats,
+		Report:         rep,
+		Hier:           summary,
+	}
+	body, err := json.MarshalIndent(&resp, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("serve: rendering response: %w", err)
+	}
+	ent := &Entry{Key: key, Body: append(body, '\n')}
+	if s.store(ent) {
+		obs.Count(s.col, "serve.cache_store", 1)
+	}
+	return ent, nil
+}
+
+// addStats folds one level's search counters into the response aggregate:
+// sums everywhere, maximum for the depth gauge.
+func addStats(into *synth.Stats, t synth.Stats) {
+	into.Splits += t.Splits
+	into.MovesEvaluated += t.MovesEvaluated
+	into.MovesCommitted += t.MovesCommitted
+	into.MovesRejected += t.MovesRejected
+	into.Reroutes += t.Reroutes
+	into.GlobalMoves += t.GlobalMoves
+	into.Rounds += t.Rounds
+	into.RestartsRun += t.RestartsRun
+	into.SeededRestarts += t.SeededRestarts
+	into.Repairs += t.Repairs
+	if t.MaxDepth > into.MaxDepth {
+		into.MaxDepth = t.MaxDepth
+	}
+	into.FastColorGap += t.FastColorGap
 }
 
 // handleGetDesign replays a cached design by its content-addressed key —

@@ -261,6 +261,23 @@ func (n *Network) connected() bool {
 	return true
 }
 
+// Graft copies src's switches and pipes into n, offsetting switch IDs by
+// n's current switch count, and returns that offset. Processor attachments
+// are NOT copied — src and n generally index different processor spaces —
+// so the caller attaches processors afterwards. This is the composition
+// primitive for hierarchical designs: per-chiplet networks and the
+// inter-chiplet network graft into one flat system graph.
+func (n *Network) Graft(src *Network) SwitchID {
+	off := SwitchID(len(n.Switches))
+	for range src.Switches {
+		n.AddSwitch()
+	}
+	for _, p := range src.Pipes {
+		n.SetPipe(p.A+off, p.B+off, p.Width)
+	}
+	return off
+}
+
 // Clone deep-copies the network.
 func (n *Network) Clone() *Network {
 	out := New(n.Name, n.Procs)

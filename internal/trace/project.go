@@ -1,0 +1,49 @@
+package trace
+
+import "repro/internal/model"
+
+// Project builds a sub-pattern of p in a new processor space: rewrite maps
+// every original message to zero or one replacement messages (return nil to
+// drop it) whose endpoints live in [0, procs). Replacement messages keep
+// whatever timing and payload rewrite gives them and are renumbered
+// sequentially; phase structure is mirrored — every original phase appears
+// in the projection with its label, bounds, and compute gap, containing the
+// surviving messages it contained before. Empty mirrored phases are kept on
+// purpose: a phase's compute gap shapes timing even for processors that sit
+// out its communication.
+//
+// This is the flow-splitting primitive of hierarchical (chiplet) designs:
+// one pattern projects once per chiplet and once for the inter-chiplet
+// network, with rewrite remapping endpoints into each level's local space.
+func Project(p *model.Pattern, name string, procs int, rewrite func(i int, m model.Message) *model.Message) *model.Pattern {
+	out := &model.Pattern{Name: name, Procs: procs}
+	newIdx := make([]int, len(p.Messages))
+	for i := range newIdx {
+		newIdx[i] = -1
+	}
+	for i, m := range p.Messages {
+		nm := rewrite(i, m)
+		if nm == nil {
+			continue
+		}
+		kept := *nm
+		kept.ID = len(out.Messages)
+		newIdx[i] = kept.ID
+		out.Messages = append(out.Messages, kept)
+	}
+	for _, ph := range p.Phases {
+		mirrored := model.Phase{
+			Label:        ph.Label,
+			Start:        ph.Start,
+			Finish:       ph.Finish,
+			ComputeAfter: ph.ComputeAfter,
+		}
+		for _, mi := range ph.Messages {
+			if ni := newIdx[mi]; ni >= 0 {
+				mirrored.Messages = append(mirrored.Messages, ni)
+			}
+		}
+		out.Phases = append(out.Phases, mirrored)
+	}
+	return out
+}

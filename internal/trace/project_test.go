@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestProject(t *testing.T) {
+	p := &model.Pattern{
+		Name:  "orig",
+		Procs: 6,
+		Messages: []model.Message{
+			{ID: 0, Src: 0, Dst: 1, Start: 0, Finish: 2, Bytes: 100},
+			{ID: 1, Src: 2, Dst: 3, Start: 1, Finish: 3, Bytes: 200},
+			{ID: 2, Src: 4, Dst: 5, Start: 2, Finish: 4, Bytes: 300},
+			{ID: 3, Src: 1, Dst: 0, Start: 3, Finish: 5, Bytes: 400},
+		},
+		Phases: []model.Phase{
+			{Label: "a", Messages: []int{0, 1}, Start: 0, Finish: 3, ComputeAfter: 7},
+			{Label: "b", Messages: []int{2, 3}, Start: 3, Finish: 5, ComputeAfter: 2},
+		},
+	}
+
+	// Keep only the messages between processors 0 and 1, remapped onto a
+	// two-processor space.
+	sub := Project(p, "sub", 2, func(i int, m model.Message) *model.Message {
+		if m.Src > 1 || m.Dst > 1 {
+			return nil
+		}
+		return &m
+	})
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sub.Name != "sub" || sub.Procs != 2 {
+		t.Fatalf("projection header = %q/%d", sub.Name, sub.Procs)
+	}
+	if len(sub.Messages) != 2 {
+		t.Fatalf("kept %d messages, want 2", len(sub.Messages))
+	}
+	// Renumbered sequentially, payload and timing verbatim.
+	for i, want := range []model.Message{
+		{ID: 0, Src: 0, Dst: 1, Start: 0, Finish: 2, Bytes: 100},
+		{ID: 1, Src: 1, Dst: 0, Start: 3, Finish: 5, Bytes: 400},
+	} {
+		if sub.Messages[i] != want {
+			t.Errorf("message %d = %+v, want %+v", i, sub.Messages[i], want)
+		}
+	}
+	// Phases mirrored one-for-one with remapped indices and intact gaps.
+	if len(sub.Phases) != 2 {
+		t.Fatalf("got %d phases, want 2", len(sub.Phases))
+	}
+	a, b := sub.Phases[0], sub.Phases[1]
+	if a.Label != "a" || a.Start != 0 || a.Finish != 3 || a.ComputeAfter != 7 {
+		t.Errorf("phase a header = %+v", a)
+	}
+	if len(a.Messages) != 1 || a.Messages[0] != 0 {
+		t.Errorf("phase a messages = %v, want [0]", a.Messages)
+	}
+	if len(b.Messages) != 1 || b.Messages[0] != 1 {
+		t.Errorf("phase b messages = %v, want [1]", b.Messages)
+	}
+
+	// A projection that keeps nothing still mirrors every phase (compute
+	// gaps shape timing even for silent processors).
+	empty := Project(p, "empty", 1, func(int, model.Message) *model.Message { return nil })
+	if len(empty.Messages) != 0 || len(empty.Phases) != 2 {
+		t.Fatalf("empty projection = %d messages, %d phases", len(empty.Messages), len(empty.Phases))
+	}
+
+	// Rewrites may remap endpoints, not just filter.
+	swapped := Project(p, "swapped", 6, func(i int, m model.Message) *model.Message {
+		m.Src, m.Dst = m.Dst, m.Src
+		return &m
+	})
+	if len(swapped.Messages) != 4 {
+		t.Fatalf("kept %d messages, want 4", len(swapped.Messages))
+	}
+	if swapped.Messages[1].Src != 3 || swapped.Messages[1].Dst != 2 {
+		t.Errorf("rewrite not applied: %+v", swapped.Messages[1])
+	}
+
+	// The original is untouched.
+	if p.Messages[1].Src != 2 || len(p.Phases[0].Messages) != 2 {
+		t.Error("Project mutated its input")
+	}
+}
